@@ -1,0 +1,54 @@
+// Reproduces Table 1: "Video/Image Processing Benchmarks (From Simulators)"
+// on a single cycle-accurate MAJC CPU.
+#include "bench/bench_util.h"
+#include "src/kernels/color_convert.h"
+#include "src/kernels/convolve.h"
+#include "src/kernels/dct_quant.h"
+#include "src/kernels/idct.h"
+#include "src/kernels/mb_decode.h"
+#include "src/kernels/motion_est.h"
+#include "src/kernels/vld.h"
+
+using namespace majc;
+using namespace majc::bench;
+using namespace majc::kernels;
+
+namespace {
+
+double run(const KernelSpec& spec) {
+  const KernelRun r = run_kernel(spec);
+  if (!r.valid) {
+    std::printf("!! %s failed validation: %s\n", spec.name.c_str(),
+                r.message.c_str());
+    return 0;
+  }
+  return static_cast<double>(r.kernel_cycles);
+}
+
+} // namespace
+
+int main() {
+  header("Table 1: Video/Image Processing Benchmarks (single MAJC CPU)");
+
+  row("8x8 IDCT", "304 cycles", cycles_str(run(make_idct_spec())));
+  row("8x8 DCT + Quantization", "200 cycles",
+      cycles_str(run(make_dct_quant_spec())));
+
+  const double vld_cy = run(make_vld_spec());
+  const double msym = kClockHz / (vld_cy / kVldSymbols) / 1e6;
+  row("MPEG-2 VLD+IZZ+IQ", "27 MSymbols/s", fmt("%.1f MSymbols/s", msym));
+
+  row("Motion Est. (+/-16 MV range)", "3000 cycles",
+      cycles_str(run(make_motion_est_spec())));
+  row("5x5 Convolution (512x512)", "1.65 Mcycles",
+      cycles_str(run(make_convolve_spec())));
+  row("512x512 Color Conversion", "0.9 Mcycles",
+      cycles_str(run(make_color_convert_spec())));
+
+  // Composed pipeline (not a paper row, but the integration its VLD and
+  // IDCT numbers imply): full 4:2:0 macroblock, VLD+IZZ+IQ -> IDCT x6.
+  const double mb = run(make_mb_decode_spec());
+  row("  [composed] 4:2:0 macroblock decode", "(derived)",
+      cycles_str(mb) + " (" + fmt("%.0f", mb / 6.0) + "/blk)");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Reproduces Table 3: "Application Performance (From Simulators)" —
+// single-CPU utilizations / throughputs for the paper's application set,
+// composed from measured kernel costs (DESIGN.md §5.3).
+#include "bench/bench_util.h"
+#include "src/apps/workload.h"
+
+using namespace majc;
+using namespace majc::bench;
+
+int main() {
+  header("Table 3: Application Performance (single MAJC-5200 CPU)");
+  for (const auto& r : apps::run_all_apps()) {
+    std::string measured;
+    if (r.throughput_mb_s > 0) {
+      measured = fmt("%.1f MB/s", r.throughput_mb_s);
+    } else {
+      measured = fmt("%.1f %%", 100.0 * r.utilization) + " (" +
+                 fmt("%.1f %%", 100.0 * r.utilization_no_mem) + " no-mem)";
+    }
+    row(r.name, r.paper_claim, measured);
+    std::printf("    model: %s\n", r.detail.c_str());
+  }
+  return 0;
+}

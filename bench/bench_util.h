@@ -1,0 +1,41 @@
+// Shared table formatting for the benchmark harnesses: every bench prints
+// the paper's row next to the measured value so EXPERIMENTS.md can quote
+// the output verbatim.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace majc::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+  std::printf("%-38s %18s %18s\n", "benchmark", "paper", "measured");
+  std::printf("----------------------------------------------------------------\n");
+}
+
+inline void row(const std::string& name, const std::string& paper,
+                const std::string& measured) {
+  std::printf("%-38s %18s %18s\n", name.c_str(), paper.c_str(),
+              measured.c_str());
+}
+
+inline std::string cycles_str(double c) {
+  char buf[64];
+  if (c >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f Mcycles", c / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f cycles", c);
+  }
+  return buf;
+}
+
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+} // namespace majc::bench

@@ -1,0 +1,119 @@
+// majc_run: command-line assembler + simulator. Assembles a MAJC .s file
+// and executes it, printing TRAP console output and run statistics — the
+// tool you reach for when writing your own MAJC assembly.
+//
+//   $ ./majc_run prog.s              # cycle-accurate run
+//   $ ./majc_run -f prog.s           # instruction-accurate (fast) run
+//   $ ./majc_run -d prog.s           # disassemble only
+//   $ ./majc_run -2 prog.s           # run on both CPUs of the chip model
+//   $ ./majc_run -c prog.s           # static schedule check only
+//   $ ./majc_run -t prog.s           # cycle run with a pipeline trace
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/cpu/cycle_cpu.h"
+#include "src/cpu/report.h"
+#include "src/cpu/schedule_check.h"
+#include "src/isa/disasm.h"
+#include "src/masm/assembler.h"
+#include "src/sim/functional_sim.h"
+#include "src/soc/chip.h"
+
+using namespace majc;
+
+int main(int argc, char** argv) {
+  bool functional = false, disasm_only = false, dual = false, schedcheck = false,
+       trace = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-f") == 0) {
+      functional = true;
+    } else if (std::strcmp(argv[i], "-d") == 0) {
+      disasm_only = true;
+    } else if (std::strcmp(argv[i], "-2") == 0) {
+      dual = true;
+    } else if (std::strcmp(argv[i], "-c") == 0) {
+      schedcheck = true;
+    } else if (std::strcmp(argv[i], "-t") == 0) {
+      trace = true;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: majc_run [-f|-d|-2] <prog.s>\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+
+  std::vector<masm::Diagnostic> diags;
+  auto image = masm::assemble(ss.str(), diags);
+  for (const auto& d : diags) {
+    std::fprintf(stderr, "%s:%u: %s\n", path, d.line, d.message.c_str());
+  }
+  if (!image) return 1;
+
+  if (schedcheck) {
+    const auto rep = cpu::check_schedule(*image);
+    std::fputs(rep.to_string().c_str(), stdout);
+    return rep.clean() ? 0 : 1;
+  }
+  if (disasm_only) {
+    std::fputs(isa::disasm_code(image->code).c_str(), stdout);
+    return 0;
+  }
+  if (functional) {
+    sim::FunctionalSim sim(*image);
+    const auto res = sim.run();
+    std::fputs(sim.console().c_str(), stdout);
+    std::printf("[functional] %llu packets, %llu instructions, halted=%d\n",
+                static_cast<unsigned long long>(res.packets),
+                static_cast<unsigned long long>(res.instrs), res.halted);
+    return res.halted ? 0 : 1;
+  }
+  if (dual) {
+    soc::Majc5200 chip(*image);
+    const auto res = chip.run();
+    for (u32 c = 0; c < 2; ++c) {
+      std::fputs(chip.cpu(c).console().c_str(), stdout);
+    }
+    std::printf("[chip] %llu cycles; cpu0 %llu packets, cpu1 %llu packets\n",
+                static_cast<unsigned long long>(res.cycles),
+                static_cast<unsigned long long>(res.packets[0]),
+                static_cast<unsigned long long>(res.packets[1]));
+    return res.all_halted ? 0 : 1;
+  }
+  cpu::CycleSim sim(*image);
+  if (trace) {
+    sim.cpu().set_trace([&](const cpu::TraceEvent& ev) {
+      if (ev.context_switch) {
+        std::printf("%8llu  thread %u switched out at pc 0x%llx\n",
+                    static_cast<unsigned long long>(ev.cycle), ev.thread,
+                    static_cast<unsigned long long>(ev.pc));
+        return;
+      }
+      std::printf("%8llu  t%u pc 0x%05llx w%u%s%s%s\n",
+                  static_cast<unsigned long long>(ev.cycle), ev.thread,
+                  static_cast<unsigned long long>(ev.pc), ev.width,
+                  ev.stall_operand ? " [operand]" : "",
+                  ev.stall_ifetch ? " [ifetch]" : "",
+                  ev.mispredicted ? " [mispredict]" : "");
+    });
+  }
+  const auto res = sim.run();
+  std::fputs(sim.console().c_str(), stdout);
+  std::printf("[cycle] %llu cycles, %llu instructions, IPC %.2f\n",
+              static_cast<unsigned long long>(res.cycles),
+              static_cast<unsigned long long>(res.instrs), res.ipc());
+  std::fputs(cpu::performance_report(sim).c_str(), stdout);
+  return res.halted ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Table 3 application workload models.
+//
+// The paper reports single-CPU utilizations for complete applications
+// (G.728/G.729.A speech coders, MPEG-2 video decode, AC-3/MP2 audio, JPEG,
+// a proprietary lossless coder, an H.263 codec). Those codecs are
+// proprietary; per DESIGN.md §5.3 we substitute analytic workload models
+// whose compute-dominant inner loops are the *measured* MAJC kernels from
+// src/kernels, composed with documented per-frame/per-sample counts from
+// the public structure of each standard. Utilization is computed the way
+// the paper's caption implies: cycles required per real-time second divided
+// by 5*10^8. The "without memory effects" column re-measures every kernel
+// in the simulator's perfect-D$ mode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/soc/config.h"
+#include "src/support/types.h"
+
+namespace majc::apps {
+
+/// Measured per-unit kernel costs (cycles) under one timing configuration.
+struct KernelCosts {
+  double fir_mac = 0;          // cycles per multiply-accumulate (FIR64)
+  double iir_sample = 0;       // cycles per 16th-order IIR sample
+  double lms_step = 0;         // cycles per 16-tap LMS adaptation
+  double idct_block = 0;       // cycles per 8x8 IDCT
+  double dctq_block = 0;       // cycles per 8x8 DCT + quantization
+  double vld_symbol = 0;       // cycles per decoded run/level symbol
+  double me_search = 0;        // cycles per +/-16 log motion search
+  double me_sad = 0;           // cycles per 16x16 SAD evaluation
+  double fft1024 = 0;          // cycles per 1024-pt radix-4 complex FFT
+  double cc_pixel = 0;         // cycles per color-converted pixel
+  double maxsearch40 = 0;      // cycles per 40-element max search
+  // Amortized cycles per data element for irregular working-set traffic
+  // (codebooks, state tables) that the steady-state kernels do not carry:
+  // the real configuration pays cache-miss amortization, the perfect-D$
+  // configuration only the 2-cycle load-to-use.
+  double mem_cycles_per_elem = 0;
+};
+
+/// Run the kernel suite under `cfg` and extract per-unit costs.
+KernelCosts measure_kernel_costs(const TimingConfig& cfg);
+
+struct AppResult {
+  std::string name;
+  std::string paper_claim;
+  double utilization = 0;         // fraction of one 500 MHz CPU
+  double utilization_no_mem = 0;  // perfect-D$ mode
+  double throughput_mb_s = 0;     // only for the byte-rate rows
+  std::string detail;             // composition summary
+};
+
+// One entry per Table 3 row.
+AppResult model_g728(const KernelCosts& real, const KernelCosts& perfect);
+AppResult model_g729a(const KernelCosts& real, const KernelCosts& perfect);
+AppResult model_mpeg2_decode(const KernelCosts& real,
+                             const KernelCosts& perfect);
+AppResult model_ac3_mp2(const KernelCosts& real, const KernelCosts& perfect);
+AppResult model_jpeg_encode(const KernelCosts& real,
+                            const KernelCosts& perfect);
+AppResult model_lossless(const KernelCosts& real, const KernelCosts& perfect);
+AppResult model_h263(const KernelCosts& real, const KernelCosts& perfect);
+
+/// All rows in table order.
+std::vector<AppResult> run_all_apps();
+
+} // namespace majc::apps

@@ -1,0 +1,37 @@
+#include "src/cpu/branch_predictor.h"
+
+#include "src/support/error.h"
+
+namespace majc::cpu {
+
+BranchPredictor::BranchPredictor(const TimingConfig& cfg)
+    : enabled_(cfg.bpred_enabled),
+      history_mask_((1u << cfg.bpred_history_bits) - 1u),
+      counters_(cfg.bpred_entries, 2) {
+  require((cfg.bpred_entries & (cfg.bpred_entries - 1)) == 0,
+          "predictor entry count must be a power of two");
+}
+
+u32 BranchPredictor::index(Addr pc) const {
+  const u32 hashed = static_cast<u32>(pc >> 2) ^ (ghr_ & history_mask_);
+  return hashed & (static_cast<u32>(counters_.size()) - 1u);
+}
+
+bool BranchPredictor::predict(Addr pc) const {
+  ++lookups_;
+  if (!enabled_) return false;  // static predict not-taken
+  return counters_[index(pc)] >= 2;
+}
+
+void BranchPredictor::update(Addr pc, bool taken) {
+  const bool predicted = enabled_ ? (counters_[index(pc)] >= 2) : false;
+  if (predicted == taken) ++correct_;
+  if (enabled_) {
+    u8& c = counters_[index(pc)];
+    if (taken && c < 3) ++c;
+    if (!taken && c > 0) --c;
+    ghr_ = ((ghr_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+  }
+}
+
+} // namespace majc::cpu

@@ -1,0 +1,275 @@
+#include "src/cpu/cycle_cpu.h"
+
+#include <algorithm>
+
+namespace majc::cpu {
+namespace {
+
+using isa::Instr;
+using isa::PhysReg;
+
+/// Physical source registers read by `in` when executing in slot `fu`.
+void collect_sources(const Instr& in, u32 fu, InlineVec<PhysReg, 12>& out) {
+  const isa::OpInfo& info = in.info();
+  auto add = [&](isa::RegSpec spec, bool pair) {
+    const PhysReg p = isa::to_phys(spec, fu);
+    out.push_back(p);
+    if (pair) out.push_back(static_cast<PhysReg>(p + 1));
+  };
+  if (info.has(isa::kReadsRs1)) add(in.rs1, info.has(isa::kRs1Pair));
+  if (info.has(isa::kReadsRs2)) add(in.rs2, info.has(isa::kRs2Pair));
+  if (info.has(isa::kReadsRd)) {
+    if (info.has(isa::kRdGroup)) {
+      const PhysReg p = isa::to_phys(in.rd, fu);
+      for (u32 i = 0; i < 8; ++i) out.push_back(static_cast<PhysReg>(p + i));
+    } else {
+      add(in.rd, info.has(isa::kRdPair));
+    }
+  }
+}
+
+/// Physical destination registers written by `in` in slot `fu`.
+void collect_dests(const Instr& in, u32 fu, InlineVec<PhysReg, 8>& out) {
+  const isa::OpInfo& info = in.info();
+  if (info.has(isa::kCall)) {
+    out.push_back(isa::to_phys(isa::kLinkReg, fu));
+    return;
+  }
+  if (!info.writes_rd()) return;
+  const PhysReg p = isa::to_phys(in.rd, fu);
+  if (info.has(isa::kRdGroup)) {
+    for (u32 i = 0; i < 8; ++i) out.push_back(static_cast<PhysReg>(p + i));
+  } else {
+    out.push_back(p);
+    if (info.has(isa::kRdPair)) out.push_back(static_cast<PhysReg>(p + 1));
+  }
+}
+
+int resource_of(const isa::OpInfo& info) {
+  if (info.issue_interval <= 1) return -1;
+  return info.cls == isa::OpClass::kFp64 ? 1 : 0;
+}
+
+} // namespace
+
+CycleCpu::CycleCpu(const sim::Program& prog, sim::MemoryBus& mem,
+                   mem::MemorySystem& ms, u32 cpu_id)
+    : prog_(prog),
+      ms_(ms),
+      cfg_(ms.config()),
+      cpu_id_(cpu_id),
+      env_{mem},
+      bpred_(ms.config()) {
+  env_.cpu_id = cpu_id;
+  env_.trap = [this](u32 code, u32 value) {
+    sim::FunctionalSim::format_trap(console_, code, value);
+  };
+  env_.tick = [this] { return current_cycle_; };
+  threads_.resize(std::max(1u, cfg_.hw_threads));
+  for (auto& th : threads_) th.state.pc = prog.image().entry;
+}
+
+bool CycleCpu::halted() const {
+  for (const auto& th : threads_) {
+    if (!th.state.halted) return false;
+  }
+  return true;
+}
+
+Cycle CycleCpu::now() const {
+  Cycle best = ~Cycle{0};
+  bool any = false;
+  for (const auto& th : threads_) {
+    if (th.state.halted) continue;
+    best = std::min(best, th.ready);
+    any = true;
+  }
+  if (!any) {
+    // All halted: report the time the last thread stopped.
+    best = 0;
+    for (const auto& th : threads_) best = std::max(best, th.ready);
+  }
+  return best;
+}
+
+CycleCpu::IssueEstimate CycleCpu::issue_time(ThreadCtx& th,
+                                             const isa::Packet& p) {
+  IssueEstimate est;
+  const Addr pc = th.state.pc;
+  // (1) Instruction supply.
+  const Cycle t0 = th.ready;
+  Cycle t = std::max(t0, ms_.ifetch(cpu_id_, pc, p.bytes(), t0));
+  est.ifetch = t - t0;
+
+  // (2) Operand availability (scoreboard interlock + bypass matrix).
+  const Cycle t_ops = t;
+  for (u32 i = 0; i < p.width; ++i) {
+    InlineVec<PhysReg, 12> srcs;
+    collect_sources(p.slot[i], i, srcs);
+    for (PhysReg r : srcs) {
+      t = std::max(t, th.sb.ready(r, static_cast<u8>(i), cfg_));
+    }
+  }
+  est.operand = t - t_ops;
+
+  // (3) Structural hazards: non-pipelined divide / rsqrt and the partially
+  // pipelined FP64 pipe keep their sub-unit busy.
+  const Cycle t_fu = t;
+  for (u32 i = 0; i < p.width; ++i) {
+    const int res = resource_of(p.slot[i].info());
+    if (res >= 0) t = std::max(t, fu_busy_[i][static_cast<u32>(res)]);
+  }
+  est.fu = t - t_fu;
+  est.t = t;
+  return est;
+}
+
+void CycleCpu::step() {
+  if (halted()) return;
+  // Schedule: stay on the active thread unless it halted.
+  if (threads_[active_].state.halted) {
+    for (u32 i = 0; i < threads_.size(); ++i) {
+      if (!threads_[i].state.halted) {
+        active_ = i;
+        break;
+      }
+    }
+  }
+  ThreadCtx* th = &threads_[active_];
+  const Addr pc = th->state.pc;
+  const isa::Packet& p = prog_.packet_at(pc);
+  const IssueEstimate est = issue_time(*th, p);
+  Cycle t = est.t;
+
+  // Vertical microthreading: if this thread is about to stall past the
+  // threshold and another context could issue sooner (accounting for the
+  // switch penalty), switch instead of stalling.
+  if (threads_.size() > 1 && t > th->ready + cfg_.mt_switch_threshold) {
+    u32 best = active_;
+    Cycle best_ready = t;
+    for (u32 i = 0; i < threads_.size(); ++i) {
+      if (i == active_ || threads_[i].state.halted) continue;
+      const Cycle cand =
+          std::max(threads_[i].ready, th->ready + cfg_.mt_switch_penalty);
+      if (cand < best_ready) {
+        best = i;
+        best_ready = cand;
+      }
+    }
+    if (best != active_) {
+      th->ready = t;  // resume here once the operands arrive
+      threads_[best].ready = best_ready;
+      if (trace_) {
+        TraceEvent ev;
+        ev.cycle = threads_[best].ready;
+        ev.pc = pc;
+        ev.thread = active_;
+        ev.context_switch = true;
+        trace_(ev);
+      }
+      active_ = best;
+      ++stats_.thread_switches;
+      return;  // the next step issues from the switched-in context
+    }
+  }
+
+  if (est.ifetch > 0) stats_.stalls.add("ifetch", est.ifetch);
+  if (est.operand > 0) stats_.stalls.add("operand", est.operand);
+  if (est.fu > 0) stats_.stalls.add("fu_busy", est.fu);
+  env_.thread_id = active_;
+
+  // Execute architecturally at cycle t.
+  current_cycle_ = t;
+  const sim::PacketOutcome out = sim::execute_packet(th->state, p, env_);
+
+  // (4) LSU acceptance and load-data timing.
+  Cycle load_ready = 0;
+  if (out.mem.kind != sim::MemAccess::Kind::kNone) {
+    const mem::Lsu::IssueResult r = ms_.lsu(cpu_id_).issue(out.mem, t);
+    if (r.issue_at > t) {
+      stats_.stalls.add("lsu", r.issue_at - t);
+      t = r.issue_at;
+    }
+    load_ready = r.data_ready;
+  }
+
+  // Writeback scheduling.
+  for (u32 i = 0; i < p.width; ++i) {
+    const Instr& in = p.slot[i];
+    const isa::OpInfo& info = in.info();
+    InlineVec<PhysReg, 8> dests;
+    collect_dests(in, i, dests);
+    const bool is_load_data = info.is_load() || info.has(isa::kAtomic);
+    const Cycle done =
+        is_load_data ? std::max(load_ready, t + 1) : t + info.latency;
+    const u8 producer = is_load_data ? kLsuProducer : static_cast<u8>(i);
+    for (PhysReg r : dests) th->sb.set(r, done, producer);
+    if (const int res = resource_of(info); res >= 0) {
+      fu_busy_[i][static_cast<u32>(res)] =
+          std::max(fu_busy_[i][static_cast<u32>(res)], t + info.issue_interval);
+    }
+  }
+
+  // Control flow and the next issue slot.
+  Cycle next = t + 1;
+  if (out.is_cond_branch) {
+    ++stats_.cond_branches;
+    if (out.branch_taken) ++stats_.taken_branches;
+    const bool predicted = bpred_.predict(pc);
+    bpred_.update(pc, out.branch_taken);
+    if (predicted != out.branch_taken) {
+      ++stats_.mispredicts;
+      next += cfg_.mispredict_penalty;
+      stats_.stalls.add("branch_penalty", cfg_.mispredict_penalty);
+    }
+  } else if (out.is_jump) {
+    ++stats_.jumps;
+    next += cfg_.jump_penalty;
+    stats_.stalls.add("branch_penalty", cfg_.jump_penalty);
+  }
+  th->ready = next;
+
+  ++stats_.packets;
+  stats_.instrs += out.width;
+  stats_.width_hist.add(out.width);
+
+  if (trace_) {
+    TraceEvent ev;
+    ev.cycle = t;
+    ev.pc = pc;
+    ev.thread = active_;
+    ev.width = out.width;
+    ev.stall_ifetch = static_cast<u32>(est.ifetch);
+    ev.stall_operand = static_cast<u32>(est.operand);
+    ev.stall_fu = static_cast<u32>(est.fu);
+    ev.branch_taken = out.is_cond_branch && out.branch_taken;
+    ev.mispredicted = next > t + 1 && out.is_cond_branch;
+    trace_(ev);
+  }
+}
+
+CycleSim::CycleSim(masm::Image image, const TimingConfig& cfg,
+                   std::size_t mem_bytes)
+    : prog_(std::move(image)), mem_(mem_bytes), ms_(cfg) {
+  sim::load_image(prog_.image(), mem_);
+  cpu_ = std::make_unique<CycleCpu>(prog_, mem_, ms_, /*cpu_id=*/0);
+  for (u32 t = 0; t < cpu_->hw_threads(); ++t) {
+    // Distinct stacks per hardware thread, 64 KB apart below the top.
+    cpu_->state(t).regs[2] =
+        static_cast<u32>(mem_.size() - 64 - t * (64u << 10));
+  }
+}
+
+CycleSim::Result CycleSim::run(u64 max_packets) {
+  Result res;
+  while (!cpu_->halted() && cpu_->stats().packets < max_packets) {
+    cpu_->step();
+  }
+  res.cycles = cpu_->now();
+  res.packets = cpu_->stats().packets;
+  res.instrs = cpu_->stats().instrs;
+  res.halted = cpu_->halted();
+  return res;
+}
+
+} // namespace majc::cpu

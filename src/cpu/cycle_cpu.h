@@ -1,0 +1,161 @@
+// Cycle-accurate model of one MAJC-5200 CPU.
+//
+// In-order VLIW timing layered over the functional executor: a packet issues
+// when (1) its instruction bytes have arrived from the I$, (2) every source
+// operand is available to its consuming slot per the scoreboard + bypass
+// matrix, (3) each slot's functional unit has recovered from non-pipelined /
+// partially-pipelined predecessors, and (4) the LSU can accept the packet's
+// memory operation. Conditional branches consult the gshare predictor;
+// mispredictions and indirect jumps pay the front-end refill penalty.
+//
+// Vertical microthreading (MAJC §2; TimingConfig::hw_threads > 1): each CPU
+// holds several architectural contexts. When the running thread's next
+// packet would stall longer than mt_switch_threshold — typically on a
+// long-latency memory fetch — and another context can issue sooner, the CPU
+// switches contexts for mt_switch_penalty cycles ("rapid, low overhead
+// context switching"). Functional units, the LSU, the branch predictor and
+// the caches are shared; registers and the scoreboard are per-thread.
+//
+// The functional executor runs at issue time, so results are bit-identical
+// to the instruction-accurate simulator by construction.
+#pragma once
+
+#include <string>
+
+#include "src/cpu/branch_predictor.h"
+#include "src/cpu/scoreboard.h"
+#include "src/mem/memsys.h"
+#include "src/sim/functional_sim.h"
+#include "src/support/stats.h"
+
+namespace majc::cpu {
+
+/// One issued packet (or context switch) as seen by a trace observer.
+struct TraceEvent {
+  Cycle cycle = 0;     // issue cycle (or switch decision cycle)
+  Addr pc = 0;
+  u32 thread = 0;
+  u32 width = 0;       // 0 for a context-switch event
+  u32 stall_ifetch = 0;
+  u32 stall_operand = 0;
+  u32 stall_fu = 0;
+  bool branch_taken = false;
+  bool mispredicted = false;
+  bool context_switch = false;
+};
+
+struct CpuStats {
+  u64 packets = 0;
+  u64 instrs = 0;
+  Histogram width_hist{5};  // buckets 1..4 used
+  u64 cond_branches = 0;
+  u64 taken_branches = 0;
+  u64 mispredicts = 0;
+  u64 jumps = 0;
+  u64 thread_switches = 0;
+  CounterSet stalls;  // ifetch / operand / fu_busy / lsu / branch_penalty
+};
+
+class CycleCpu {
+public:
+  CycleCpu(const sim::Program& prog, sim::MemoryBus& mem,
+           mem::MemorySystem& ms, u32 cpu_id);
+
+  /// Issue and execute the next packet of the scheduled thread (or perform
+  /// a context switch). No-op once every thread has halted.
+  void step();
+
+  bool halted() const;
+  /// Cycle at which the next packet would issue (== elapsed cycles so far).
+  Cycle now() const;
+
+  u32 hw_threads() const { return static_cast<u32>(threads_.size()); }
+  sim::CpuState& state(u32 thread = 0) { return threads_[thread].state; }
+  /// Point a thread at an entry address (threads default to the image entry
+  /// and can dispatch on GETTID instead).
+  void set_thread_pc(u32 thread, Addr pc) { threads_[thread].state.pc = pc; }
+
+  const CpuStats& stats() const { return stats_; }
+  const std::string& console() const { return console_; }
+  BranchPredictor& predictor() { return bpred_; }
+
+  /// Install a per-packet trace observer (empty function disables).
+  void set_trace(std::function<void(const TraceEvent&)> fn) {
+    trace_ = std::move(fn);
+  }
+
+private:
+  struct ThreadCtx {
+    sim::CpuState state;
+    Scoreboard sb;
+    Cycle ready = 0;  // earliest cycle this thread may issue next
+  };
+
+  struct IssueEstimate {
+    Cycle t = 0;
+    Cycle ifetch = 0;
+    Cycle operand = 0;
+    Cycle fu = 0;
+  };
+  /// Issue time for the thread's next packet (ifetch + operands +
+  /// structural) with the stall breakdown; the I$ access is performed
+  /// (fetch-ahead happens whether or not the packet then issues), stall
+  /// statistics are only recorded by the caller on actual issue.
+  IssueEstimate issue_time(ThreadCtx& th, const isa::Packet& p);
+
+  const sim::Program& prog_;
+  mem::MemorySystem& ms_;
+  const TimingConfig& cfg_;
+  u32 cpu_id_;
+
+  std::vector<ThreadCtx> threads_;
+  u32 active_ = 0;
+  sim::ExecEnv env_;
+  BranchPredictor bpred_;
+  // Structural busy clocks per FU, split by sub-unit: ops with issue
+  // interval 1 never conflict; the iterative divide/rsqrt unit and the
+  // partially pipelined FP64 pipe each track their own recovery. Shared by
+  // all threads (the paper's threads share the functional units).
+  static constexpr u32 kFuResources = 2;  // 0 = iterative, 1 = fp64 pipe
+  std::array<std::array<Cycle, kFuResources>, isa::kNumFus> fu_busy_{};
+  Cycle current_cycle_ = 0;
+  std::string console_;
+  CpuStats stats_;
+  std::function<void(const TraceEvent&)> trace_;
+};
+
+/// Single-CPU convenience harness mirroring FunctionalSim: owns the memory,
+/// memory system and one CycleCpu.
+class CycleSim {
+public:
+  explicit CycleSim(masm::Image image, const TimingConfig& cfg = {},
+                    std::size_t mem_bytes = sim::FlatMemory::kDefaultBytes);
+
+  struct Result {
+    Cycle cycles = 0;
+    u64 packets = 0;
+    u64 instrs = 0;
+    bool halted = false;
+    double ipc() const {
+      return cycles == 0 ? 0.0
+                         : static_cast<double>(instrs) /
+                               static_cast<double>(cycles);
+    }
+  };
+
+  Result run(u64 max_packets = 100'000'000);
+
+  CycleCpu& cpu() { return *cpu_; }
+  mem::MemorySystem& memsys() { return ms_; }
+  sim::FlatMemory& memory() { return mem_; }
+  const sim::Program& program() const { return prog_; }
+  const std::string& console() const { return cpu_->console(); }
+
+private:
+  sim::Program prog_;
+  sim::FlatMemory mem_;
+  mem::MemorySystem ms_;
+  std::unique_ptr<CycleCpu> cpu_;
+};
+
+} // namespace majc::cpu

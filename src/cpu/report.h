@@ -1,0 +1,19 @@
+// Human-readable performance reports for cycle-accurate runs: a CPI stack
+// (where every cycle went), issue-width histogram, cache and predictor
+// rates. Used by the majc_run tool and the examples.
+#pragma once
+
+#include <string>
+
+#include "src/cpu/cycle_cpu.h"
+
+namespace majc::cpu {
+
+/// Full report for a finished single-CPU run.
+std::string performance_report(CycleSim& sim);
+
+/// Report for one CPU of a chip-level run (caller supplies the CPU and the
+/// memory system it ran against).
+std::string performance_report(CycleCpu& cpu, mem::MemorySystem& ms);
+
+} // namespace majc::cpu

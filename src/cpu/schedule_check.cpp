@@ -1,0 +1,159 @@
+#include "src/cpu/schedule_check.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/cpu/scoreboard.h"
+#include "src/isa/disasm.h"
+
+namespace majc::cpu {
+namespace {
+
+using isa::Instr;
+using isa::PhysReg;
+
+/// Deterministic producers the hardware does NOT interlock: everything
+/// except loads/atomics (whose return timing depends on the memory system).
+bool deterministic(const isa::OpInfo& info) {
+  return !info.is_load() && !info.has(isa::kAtomic);
+}
+
+void sources_of(const Instr& in, u32 fu, InlineVec<PhysReg, 12>& out) {
+  const isa::OpInfo& info = in.info();
+  auto add = [&](isa::RegSpec spec, bool pair) {
+    const PhysReg p = isa::to_phys(spec, fu);
+    out.push_back(p);
+    if (pair) out.push_back(static_cast<PhysReg>(p + 1));
+  };
+  if (info.has(isa::kReadsRs1)) add(in.rs1, info.has(isa::kRs1Pair));
+  if (info.has(isa::kReadsRs2)) add(in.rs2, info.has(isa::kRs2Pair));
+  if (info.has(isa::kReadsRd)) {
+    if (info.has(isa::kRdGroup)) {
+      const PhysReg p = isa::to_phys(in.rd, fu);
+      for (u32 i = 0; i < 8; ++i) out.push_back(static_cast<PhysReg>(p + i));
+    } else {
+      add(in.rd, info.has(isa::kRdPair));
+    }
+  }
+}
+
+void dests_of(const Instr& in, u32 fu, InlineVec<PhysReg, 8>& out) {
+  const isa::OpInfo& info = in.info();
+  if (info.has(isa::kCall)) {
+    out.push_back(isa::to_phys(isa::kLinkReg, fu));
+    return;
+  }
+  if (!info.writes_rd()) return;
+  const PhysReg p = isa::to_phys(in.rd, fu);
+  if (info.has(isa::kRdGroup)) {
+    for (u32 i = 0; i < 8; ++i) out.push_back(static_cast<PhysReg>(p + i));
+  } else {
+    out.push_back(p);
+    if (info.has(isa::kRdPair)) out.push_back(static_cast<PhysReg>(p + 1));
+  }
+}
+
+} // namespace
+
+std::string ScheduleReport::to_string(std::size_t max_lines) const {
+  std::ostringstream os;
+  os << "schedule check: " << violations.size() << " violation(s) across "
+     << packets_checked << " packets in " << blocks_checked << " blocks\n";
+  std::size_t shown = 0;
+  for (const auto& v : violations) {
+    if (shown++ >= max_lines) {
+      os << "  ... (" << violations.size() - max_lines << " more)\n";
+      break;
+    }
+    os << "  pc 0x" << std::hex << v.pc << std::dec << " slot " << v.slot
+       << ": reads phys r" << static_cast<u32>(v.reg) << " " << v.shortfall
+       << " cycle(s) early: " << v.text << "\n";
+  }
+  return os.str();
+}
+
+ScheduleReport check_schedule(const sim::Program& prog,
+                              const TimingConfig& cfg) {
+  const masm::Image& img = prog.image();
+  // Collect basic-block leaders: entry, branch/call targets, fall-throughs
+  // after any control transfer.
+  std::set<Addr> leaders;
+  leaders.insert(img.entry);
+  std::size_t w = 0;
+  while (w < img.code.size()) {
+    const Addr pc = img.code_base + w * 4;
+    const isa::Packet p =
+        isa::decode_packet(std::span<const u32>(img.code).subspan(w));
+    const Instr& c = p.slot[0];
+    const isa::OpInfo& info = c.info();
+    if (info.has(isa::kBranch) || info.has(isa::kCall)) {
+      leaders.insert(pc + static_cast<Addr>(static_cast<i64>(c.imm) * 4));
+      leaders.insert(pc + p.bytes());
+    } else if (info.has(isa::kJump) || info.has(isa::kHalt)) {
+      leaders.insert(pc + p.bytes());
+    }
+    w += p.width;
+  }
+
+  ScheduleReport rep;
+  // Per-register completion record within the current block, assuming one
+  // packet per cycle: {cycle the result exists, producing FU}.
+  struct Avail {
+    Cycle done = 0;
+    u8 producer = kNoProducer;
+  };
+  std::array<Avail, isa::kNumRegs> avail{};
+
+  Cycle clock = 0;
+  w = 0;
+  while (w < img.code.size()) {
+    const Addr pc = img.code_base + w * 4;
+    if (leaders.count(pc)) {
+      avail.fill({});
+      clock = 0;
+      ++rep.blocks_checked;
+    }
+    const isa::Packet p =
+        isa::decode_packet(std::span<const u32>(img.code).subspan(w));
+    for (u32 s = 0; s < p.width; ++s) {
+      InlineVec<PhysReg, 12> srcs;
+      sources_of(p.slot[s], s, srcs);
+      for (PhysReg r : srcs) {
+        if (r == 0 || avail[r].producer == kNoProducer) continue;
+        const Cycle ready =
+            avail[r].done + bypass_delay(avail[r].producer, static_cast<u8>(s),
+                                         cfg);
+        if (ready > clock) {
+          rep.violations.push_back(
+              {pc, s, r, static_cast<u32>(ready - clock),
+               isa::disasm_instr(p.slot[s])});
+        }
+      }
+    }
+    for (u32 s = 0; s < p.width; ++s) {
+      const isa::OpInfo& info = p.slot[s].info();
+      InlineVec<PhysReg, 8> dests;
+      dests_of(p.slot[s], s, dests);
+      for (PhysReg r : dests) {
+        if (r == 0) continue;
+        if (deterministic(info)) {
+          avail[r] = {clock + info.latency, static_cast<u8>(s)};
+        } else {
+          avail[r] = {};  // interlocked by hardware: never a violation
+        }
+      }
+    }
+    ++rep.packets_checked;
+    ++clock;
+    w += p.width;
+  }
+  return rep;
+}
+
+ScheduleReport check_schedule(const masm::Image& image,
+                              const TimingConfig& cfg) {
+  return check_schedule(sim::Program(image), cfg);
+}
+
+} // namespace majc::cpu

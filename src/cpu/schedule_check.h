@@ -1,0 +1,54 @@
+// Static schedule checker.
+//
+// On the real MAJC-5200 "the instruction scheduling is a compiler driven
+// task ... only the non-deterministic loads and long latency instructions
+// are interlocked through a score-boarding mechanism. All the other
+// instructions have a deterministic delay" (paper §3.2). Code that reads a
+// deterministic-latency result too early therefore gets a stale value on
+// silicon. This repository's simulators interlock everything (documented in
+// src/cpu/scoreboard.h), so such code still computes correct values; this
+// checker reports exactly where a program relies on that safety net — the
+// gap between simulated and silicon behaviour, and the worklist a scheduler
+// would have to fix.
+//
+// The analysis walks each basic block assuming one packet per cycle and
+// flags reads of deterministic results that occur before
+// completion + bypass delay. Loads/atomics are exempt (hardware interlocks
+// them) and state is reset at basic-block boundaries (conservative: no
+// cross-block violations are reported).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/functional_sim.h"
+#include "src/soc/config.h"
+
+namespace majc::cpu {
+
+struct ScheduleViolation {
+  Addr pc = 0;        // packet address of the too-early consumer
+  u32 slot = 0;       // consuming slot (FU)
+  isa::PhysReg reg = 0;
+  u32 shortfall = 0;  // cycles the read is early
+  std::string text;   // disassembly of the consuming instruction
+};
+
+struct ScheduleReport {
+  std::vector<ScheduleViolation> violations;
+  u64 packets_checked = 0;
+  u64 blocks_checked = 0;
+
+  bool clean() const { return violations.empty(); }
+  std::string to_string(std::size_t max_lines = 20) const;
+};
+
+/// Check every basic block of `prog` against the bypass matrix in `cfg`.
+ScheduleReport check_schedule(const sim::Program& prog,
+                              const TimingConfig& cfg = {});
+
+/// Convenience: assemble-and-check.
+ScheduleReport check_schedule(const masm::Image& image,
+                              const TimingConfig& cfg = {});
+
+} // namespace majc::cpu

@@ -1,0 +1,60 @@
+// Register scoreboard and bypass-network timing.
+//
+// The paper (§3.2): instruction scheduling is the compiler's job; only
+// non-deterministic loads and long-latency operations are interlocked
+// through a score-boarding mechanism. Results bypass within a functional
+// unit as soon as available; FU1 results forward to FU0 with no delay;
+// FU0 results are visible to FU1/FU2/FU3 in the next cycle; everything else
+// becomes visible at the Trap/WB stage.
+//
+// The model interlocks *all* operands (stalling instead of reading stale
+// values), which reproduces the timing of a correctly scheduled program and
+// keeps badly scheduled hand-written kernels correct rather than silently
+// wrong. The per-(producer, consumer) bypass matrix below is the paper's.
+#pragma once
+
+#include <array>
+
+#include "src/isa/registers.h"
+#include "src/soc/config.h"
+#include "src/support/types.h"
+
+namespace majc::cpu {
+
+/// Producer identifiers: 0..3 = FU0..FU3, kLsuProducer = load data from the
+/// LSU (whose latency already covers delivery to any consumer).
+inline constexpr u8 kLsuProducer = 4;
+inline constexpr u8 kNoProducer = 5;
+
+/// Extra forwarding delay from `producer` to `consumer` on top of the
+/// producer's completion cycle.
+u32 bypass_delay(u8 producer, u8 consumer_fu, const TimingConfig& cfg);
+
+class Scoreboard {
+public:
+  struct Entry {
+    Cycle done = 0;       // cycle the result exists in the producing FU
+    u8 producer = kNoProducer;
+  };
+
+  void set(isa::PhysReg reg, Cycle done, u8 producer) {
+    if (reg == 0) return;  // g0 is constant
+    entries_[reg] = {done, producer};
+  }
+
+  /// Cycle at which `reg` can be consumed by an instruction in slot
+  /// `consumer_fu`.
+  Cycle ready(isa::PhysReg reg, u8 consumer_fu, const TimingConfig& cfg) const {
+    if (reg == 0) return 0;
+    const Entry& e = entries_[reg];
+    if (e.producer == kNoProducer) return 0;
+    return e.done + bypass_delay(e.producer, consumer_fu, cfg);
+  }
+
+  void clear() { entries_.fill({}); }
+
+private:
+  std::array<Entry, isa::kNumRegs> entries_{};
+};
+
+} // namespace majc::cpu

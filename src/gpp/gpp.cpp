@@ -1,0 +1,135 @@
+#include "src/gpp/gpp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "src/soc/ports.h"
+
+namespace majc::gpp {
+
+std::vector<Batch> Gpp::decode_and_distribute(std::span<const u8> stream,
+                                              Cycle now, Mesh& out_mesh) {
+  out_mesh = decompress(stream);
+  const u32 n = static_cast<u32>(out_mesh.vertices.size());
+  std::vector<Batch> batches;
+  if (n == 0) return batches;
+
+  // Decode time: the stream parses at the GPP's rate; batches become ready
+  // as their share of the stream has been consumed.
+  const double cycles_per_vertex =
+      static_cast<double>(stream.size()) / cfg_.decode_bytes_per_cycle /
+      static_cast<double>(n);
+
+  std::array<u64, 2> queued{};  // outstanding vertices per CPU (balancer state)
+  u32 first = 0;
+  while (first < n) {
+    Batch b;
+    b.first_vertex = first;
+    b.vertex_count = std::min(cfg_.batch_vertices, n - first);
+    // Count the triangles this batch's vertices close, honouring strip
+    // restarts (a vertex only closes a triangle from the third vertex of
+    // its strip onward).
+    const u32 end = first + b.vertex_count;
+    b.triangle_count =
+        out_mesh.triangles_before(end) - out_mesh.triangles_before(first);
+    b.cpu = queued[0] <= queued[1] ? 0 : 1;
+    queued[b.cpu] += b.vertex_count;
+    b.decoded_at =
+        now + static_cast<Cycle>(std::ceil(cycles_per_vertex * end));
+    batches.push_back(b);
+    first = end;
+  }
+  return batches;
+}
+
+PipelineResult Gpp::run_distribution(std::vector<Batch>& batches,
+                                     double cpu_cycles_per_vertex,
+                                     Cycle now) {
+  PipelineResult res;
+  std::array<Cycle, 2> cpu_free{now, now};
+  const mem::Port cpu_port[2] = {mem::Port::kCpu0, mem::Port::kCpu1};
+
+  for (Batch& b : batches) {
+    // Dynamic shortest-completion-time balancing (the GPP sees both queues).
+    b.cpu = cpu_free[0] <= cpu_free[1] ? 0 : 1;
+    // Hand the uncompressed batch to the CPU over the crossbar.
+    const u32 bytes = b.vertex_count * Vertex::kRawBytes;
+    const Cycle delivered = ms_.xbar().transfer(
+        mem::Port::kGpp, cpu_port[b.cpu], bytes, b.decoded_at);
+    const Cycle start = std::max(delivered, cpu_free[b.cpu]);
+    const auto work = static_cast<Cycle>(
+        std::ceil(cpu_cycles_per_vertex * b.vertex_count));
+    cpu_free[b.cpu] = start + work;
+    res.cpu_busy[b.cpu] += work;
+    res.cpu_triangles[b.cpu] += b.triangle_count;
+    res.triangles += b.triangle_count;
+    res.vertices += b.vertex_count;
+  }
+  res.cycles = std::max(cpu_free[0], cpu_free[1]) - now;
+  return res;
+}
+
+PipelineResult Gpp::simulate_pipeline(std::span<const u8> stream,
+                                      double cpu_cycles_per_vertex,
+                                      Cycle now) {
+  Mesh mesh;
+  std::vector<Batch> batches = decode_and_distribute(stream, now, mesh);
+  return run_distribution(batches, cpu_cycles_per_vertex, now);
+}
+
+PipelineResult Gpp::simulate_pipeline_from_nupa(soc::NupaPort& nupa,
+                                                std::span<const u8> stream,
+                                                double cpu_cycles_per_vertex,
+                                                Cycle now) {
+  // Ingest through the real 4 KB FIFO in 256-byte bursts: the external
+  // producer runs at the UPA line rate and blocks when the FIFO is full;
+  // the GPP drains at its parse rate. The loop tracks both clocks and the
+  // arrival time of every burst so parse order respects arrival order.
+  constexpr u32 kBurst = 256;
+  soc::Fifo& fifo = nupa.fifo();
+  const double parse = cfg_.decode_bytes_per_cycle;
+
+  std::deque<std::pair<u32, Cycle>> in_flight;  // (bytes, arrival cycle)
+  std::vector<u8> burst(kBurst);
+  Cycle prod_t = now;
+  Cycle cons_t = now;
+  std::size_t pushed = 0;
+  std::size_t consumed = 0;
+  while (consumed < stream.size()) {
+    if (pushed < stream.size() && fifo.can_push(kBurst)) {
+      const u32 n =
+          static_cast<u32>(std::min<std::size_t>(kBurst, stream.size() - pushed));
+      prod_t = nupa.push_fifo(stream.subspan(pushed, n), prod_t);
+      in_flight.emplace_back(n, prod_t);
+      pushed += n;
+      continue;
+    }
+    // FIFO full (or stream fully pushed): the GPP consumes one burst.
+    require(!in_flight.empty(), "GPP ingest deadlock");
+    const auto [n, arrived] = in_flight.front();
+    in_flight.pop_front();
+    const u32 got = fifo.pop(std::span<u8>(burst.data(), n));
+    require(got == n, "FIFO drained out of order");
+    cons_t = std::max(cons_t, arrived) +
+             static_cast<Cycle>(std::ceil(n / parse));
+    consumed += n;
+    // A blocked producer resumes as soon as the pop frees space.
+    prod_t = std::max(prod_t, cons_t > prod_t ? cons_t - 1 : prod_t);
+  }
+
+  // The stream has been parsed by cons_t; batches become ready linearly
+  // over the ingest+parse interval.
+  Mesh mesh;
+  std::vector<Batch> batches = decode_and_distribute(stream, now, mesh);
+  const u32 n = static_cast<u32>(mesh.vertices.size());
+  for (Batch& b : batches) {
+    const double frac =
+        static_cast<double>(b.first_vertex + b.vertex_count) / n;
+    b.decoded_at = now + static_cast<Cycle>(
+                             std::ceil(static_cast<double>(cons_t - now) * frac));
+  }
+  return run_distribution(batches, cpu_cycles_per_vertex, now);
+}
+
+} // namespace majc::gpp

@@ -1,0 +1,97 @@
+// The Graphics PreProcessor device model.
+//
+// Pipeline (paper §5): compressed polygon streams arrive (typically through
+// the North UPA FIFO), the GPP decompresses and parses them, and distributes
+// batches of uncompressed vertices to whichever CPU is less loaded; the CPUs
+// run geometry transform + lighting. "This pipelined architecture delivers a
+// performance of between 60 and 90 million triangles per second."
+//
+// The model decompresses real streams (src/gpp/geometry), assigns batches
+// with a shortest-queue load balancer, charges decode time against the GPP's
+// parse rate and distribution time against the crossbar, and simulates the
+// resulting two-stage pipeline against the measured per-vertex cost of the
+// MAJC transform+light kernel (src/kernels/transform_light).
+#pragma once
+
+#include <array>
+
+#include "src/gpp/geometry.h"
+#include "src/mem/memsys.h"
+
+namespace majc::soc {
+class NupaPort;
+}
+
+namespace majc::gpp {
+
+struct GppConfig {
+  u32 batch_vertices = 64;          // vertices handed to a CPU per batch
+  double decode_bytes_per_cycle = 2.0;  // compressed-stream parse rate
+};
+
+struct Batch {
+  u32 first_vertex = 0;
+  u32 vertex_count = 0;
+  u32 triangle_count = 0;  // triangles completed by this batch's vertices
+  u32 cpu = 0;             // which CPU the balancer chose
+  Cycle decoded_at = 0;    // when the GPP finished decoding the batch
+};
+
+struct PipelineResult {
+  u64 triangles = 0;
+  u64 vertices = 0;
+  Cycle cycles = 0;
+  std::array<Cycle, 2> cpu_busy{};
+  std::array<u64, 2> cpu_triangles{};
+  double mtris_per_sec() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(triangles) /
+                             static_cast<double>(cycles) * kClockHz / 1e6;
+  }
+  double balance() const {  // 1.0 = perfectly even split
+    const u64 total = cpu_triangles[0] + cpu_triangles[1];
+    if (total == 0) return 1.0;
+    const u64 mn = std::min(cpu_triangles[0], cpu_triangles[1]);
+    return 2.0 * static_cast<double>(mn) / static_cast<double>(total);
+  }
+};
+
+class Gpp {
+public:
+  Gpp(mem::MemorySystem& ms, const GppConfig& cfg = {}) : ms_(ms), cfg_(cfg) {}
+
+  /// Decompress `stream`, split into batches and load-balance across the
+  /// two CPUs. Returns the batches in decode order; `out_mesh` receives the
+  /// decoded geometry (validated against the original in tests).
+  std::vector<Batch> decode_and_distribute(std::span<const u8> stream,
+                                           Cycle now, Mesh& out_mesh);
+
+  /// Simulate the full GPP -> dual-CPU pipeline for `stream`, with each CPU
+  /// spending `cpu_cycles_per_vertex` on transform + lighting (measured from
+  /// the MAJC kernel by the caller).
+  PipelineResult simulate_pipeline(std::span<const u8> stream,
+                                   double cpu_cycles_per_vertex, Cycle now = 0);
+
+  /// Full-path variant: the compressed stream arrives from off-chip through
+  /// the North UPA's 4 KB input FIFO (paper Fig. 1: "North UPA, 4K Buf" in
+  /// front of the GPP). The external producer pushes at the UPA line rate
+  /// and blocks on FIFO backpressure; the GPP drains the FIFO at its parse
+  /// rate. Returns the same pipeline result, now including ingest effects.
+  PipelineResult simulate_pipeline_from_nupa(soc::NupaPort& nupa,
+                                             std::span<const u8> stream,
+                                             double cpu_cycles_per_vertex,
+                                             Cycle now = 0);
+
+  const GppConfig& config() const { return cfg_; }
+
+private:
+  /// Shared back half: hand batches to the less-loaded CPU over the
+  /// crossbar and account the transform work.
+  PipelineResult run_distribution(std::vector<Batch>& batches,
+                                  double cpu_cycles_per_vertex, Cycle now);
+
+  mem::MemorySystem& ms_;
+  GppConfig cfg_;
+};
+
+} // namespace majc::gpp

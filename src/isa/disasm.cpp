@@ -1,0 +1,72 @@
+#include "src/isa/disasm.h"
+
+#include <sstream>
+
+#include "src/isa/registers.h"
+
+namespace majc::isa {
+namespace {
+
+void append_operands(std::ostringstream& os, const Instr& in) {
+  const OpInfo& info = in.info();
+  switch (info.form) {
+    case Form::kR: {
+      os << ' ' << reg_name(in.rd) << ", " << reg_name(in.rs1) << ", "
+         << reg_name(in.rs2);
+      break;
+    }
+    case Form::kI:
+      os << ' ' << reg_name(in.rd) << ", " << reg_name(in.rs1) << ", " << in.imm;
+      break;
+    case Form::kL:
+      os << ' ' << reg_name(in.rd) << ", " << in.imm;
+      break;
+    case Form::kJ:
+      os << ' ' << in.imm;
+      break;
+    case Form::kN:
+      if (info.writes_rd()) os << ' ' << reg_name(in.rd);
+      break;
+  }
+}
+
+} // namespace
+
+std::string disasm_instr(const Instr& in) {
+  std::ostringstream os;
+  const OpInfo& info = in.info();
+  os << info.mnemonic;
+  // Sub-field suffixes mirror the assembler's notation: cache attributes on
+  // memory ops (.nc non-cached, .na non-allocating) and saturation modes on
+  // SIMD ops (.s signed, .u unsigned, .b byte).
+  if (info.has(kHasSub) && in.sub != 0) {
+    static constexpr const char* kMemSuffix[4] = {"", ".nc", ".na", ".x3"};
+    static constexpr const char* kSimdSuffix[4] = {"", ".s", ".u", ".b"};
+    os << (info.is_mem() ? kMemSuffix[in.sub] : kSimdSuffix[in.sub]);
+  }
+  append_operands(os, in);
+  return os.str();
+}
+
+std::string disasm_packet(const Packet& p) {
+  std::ostringstream os;
+  for (u32 i = 0; i < p.width; ++i) {
+    if (i != 0) os << " | ";
+    os << disasm_instr(p.slot[i]);
+  }
+  os << " ;;";
+  return os.str();
+}
+
+std::string disasm_code(std::span<const u32> words) {
+  std::ostringstream os;
+  std::size_t i = 0;
+  while (i < words.size()) {
+    const Packet p = decode_packet(words.subspan(i));
+    os << i << ":\t" << disasm_packet(p) << '\n';
+    i += p.width;
+  }
+  return os.str();
+}
+
+} // namespace majc::isa

@@ -1,0 +1,23 @@
+// Disassembler: decoded instructions / packets back to assembler syntax.
+//
+// Output is accepted verbatim by the assembler (round-trip property tested),
+// e.g.:  "ldwi g3, g2, 8 | fmadd l0, g3, g4 ;;"
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "src/isa/encoding.h"
+
+namespace majc::isa {
+
+/// One instruction in assembler syntax (no slot separator).
+std::string disasm_instr(const Instr& in);
+
+/// A whole packet: slots joined by " | " and terminated with " ;;".
+std::string disasm_packet(const Packet& p);
+
+/// A code image: one packet per line, prefixed with the word index.
+std::string disasm_code(std::span<const u32> words);
+
+} // namespace majc::isa

@@ -1,0 +1,145 @@
+#include "src/isa/encoding.h"
+
+#include <string>
+
+#include "src/support/bits.h"
+#include "src/support/error.h"
+
+namespace majc::isa {
+namespace {
+
+void check_reg(RegSpec r, const char* what) {
+  require(r < 128, std::string("register specifier out of range for ") + what);
+}
+
+} // namespace
+
+void validate_slot(const Instr& in, u32 fu) {
+  const OpInfo& info = in.info();
+  require(fu < kMaxSlots, "slot index out of range");
+  if ((info.fu_mask & (1u << fu)) == 0) {
+    fail(std::string(info.mnemonic) + " is not executable on FU" +
+         std::to_string(fu));
+  }
+  if (info.has(kRdPair) && !valid_pair_spec(in.rd)) {
+    fail(std::string(info.mnemonic) + ": rd must be an even-aligned pair");
+  }
+  if (info.has(kRs1Pair) && !valid_pair_spec(in.rs1)) {
+    fail(std::string(info.mnemonic) + ": rs1 must be an even-aligned pair");
+  }
+  if (info.has(kRs2Pair) && !valid_pair_spec(in.rs2)) {
+    fail(std::string(info.mnemonic) + ": rs2 must be an even-aligned pair");
+  }
+  if (info.has(kRdGroup) && !valid_group_spec(in.rd)) {
+    fail(std::string(info.mnemonic) + ": rd must start an 8-aligned group");
+  }
+}
+
+u32 encode_instr(const Instr& in) {
+  const OpInfo& info = in.info();
+  u32 w = 0;
+  w = deposit(w, 23, 7, static_cast<u8>(in.op));
+  switch (info.form) {
+    case Form::kR:
+      check_reg(in.rd, "rd");
+      check_reg(in.rs1, "rs1");
+      check_reg(in.rs2, "rs2");
+      require(in.sub < 4, "sub field is 2 bits");
+      w = deposit(w, 16, 7, in.rd);
+      w = deposit(w, 9, 7, in.rs1);
+      w = deposit(w, 2, 7, in.rs2);
+      w = deposit(w, 0, 2, in.sub);
+      break;
+    case Form::kI:
+      check_reg(in.rd, "rd");
+      check_reg(in.rs1, "rs1");
+      require(fits_signed(in.imm, 9),
+              std::string(info.mnemonic) + ": immediate does not fit simm9");
+      w = deposit(w, 16, 7, in.rd);
+      w = deposit(w, 9, 7, in.rs1);
+      w = deposit(w, 0, 9, static_cast<u32>(in.imm));
+      break;
+    case Form::kL:
+      check_reg(in.rd, "rd");
+      if (info.has(kBranch)) {
+        require(fits_signed(in.imm, 16),
+                std::string(info.mnemonic) + ": displacement does not fit 16 bits");
+      } else {
+        require(fits_signed(in.imm, 16) || fits_unsigned(static_cast<u32>(in.imm), 16),
+                std::string(info.mnemonic) + ": immediate does not fit 16 bits");
+      }
+      w = deposit(w, 16, 7, in.rd);
+      w = deposit(w, 0, 16, static_cast<u32>(in.imm));
+      break;
+    case Form::kJ:
+      require(fits_signed(in.imm, 23),
+              std::string(info.mnemonic) + ": displacement does not fit 23 bits");
+      w = deposit(w, 0, 23, static_cast<u32>(in.imm));
+      break;
+    case Form::kN:
+      // getcpu/gettick carry a destination even though they take no sources.
+      if (info.writes_rd()) {
+        check_reg(in.rd, "rd");
+        w = deposit(w, 16, 7, in.rd);
+      }
+      break;
+  }
+  return w;
+}
+
+Instr decode_instr(u32 word) {
+  const u32 opc = bits(word, 23, 7);
+  require(opc < kNumOpcodes, "undefined opcode " + std::to_string(opc));
+  Instr in;
+  in.op = static_cast<Op>(opc);
+  const OpInfo& info = in.info();
+  switch (info.form) {
+    case Form::kR:
+      in.rd = static_cast<RegSpec>(bits(word, 16, 7));
+      in.rs1 = static_cast<RegSpec>(bits(word, 9, 7));
+      in.rs2 = static_cast<RegSpec>(bits(word, 2, 7));
+      in.sub = static_cast<u8>(bits(word, 0, 2));
+      break;
+    case Form::kI:
+      in.rd = static_cast<RegSpec>(bits(word, 16, 7));
+      in.rs1 = static_cast<RegSpec>(bits(word, 9, 7));
+      in.imm = sign_extend(bits(word, 0, 9), 9);
+      break;
+    case Form::kL:
+      in.rd = static_cast<RegSpec>(bits(word, 16, 7));
+      in.imm = sign_extend(bits(word, 0, 16), 16);
+      break;
+    case Form::kJ:
+      in.imm = sign_extend(bits(word, 0, 23), 23);
+      break;
+    case Form::kN:
+      if (info.writes_rd()) in.rd = static_cast<RegSpec>(bits(word, 16, 7));
+      break;
+  }
+  return in;
+}
+
+std::vector<u32> encode_packet(const Packet& p) {
+  require(p.width >= 1 && p.width <= kMaxSlots, "packet width must be 1..4");
+  std::vector<u32> words(p.width);
+  for (u32 i = 0; i < p.width; ++i) {
+    validate_slot(p.slot[i], i);
+    words[i] = encode_instr(p.slot[i]);
+    require(bits(words[i], 30, 2) == 0, "instruction overflows into header bits");
+  }
+  words[0] = deposit(words[0], 30, 2, p.width - 1);
+  return words;
+}
+
+Packet decode_packet(std::span<const u32> words) {
+  require(!words.empty(), "cannot decode an empty packet");
+  Packet p;
+  p.width = bits(words[0], 30, 2) + 1;
+  require(words.size() >= p.width, "truncated packet");
+  for (u32 i = 0; i < p.width; ++i) {
+    p.slot[i] = decode_instr(words[i]);
+  }
+  return p;
+}
+
+} // namespace majc::isa

@@ -1,0 +1,83 @@
+// Binary instruction and packet encoding.
+//
+// A MAJC-5200 instruction packet is 1 to 4 32-bit instruction words; a 2-bit
+// header gives the issue width so the stream carries no padding nops
+// (paper §3.2). We place the header in bits [31:30] of the packet's first
+// word; those bits are reserved (zero) in the remaining words. Instruction
+// fields occupy bits [29:0]:
+//
+//   [29:23] opcode
+//   R-form: [22:16] rd   [15:9] rs1  [8:2] rs2  [1:0] sub
+//   I-form: [22:16] rd   [15:9] rs1  [8:0] simm9
+//   L-form: [22:16] rd   [15:0] imm16   (setlo/sethi; branch: rd = cond reg,
+//                                        imm16 = signed word displacement
+//                                        relative to the packet address)
+//   J-form: [22:0] signed word displacement (call)
+//   N-form: all zero
+//
+// Slot position determines the executing FU: slot i executes on FUi, and the
+// first instruction of a packet must be FU0-eligible (paper §3.2).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/isa/opcodes.h"
+#include "src/isa/registers.h"
+#include "src/support/types.h"
+
+namespace majc::isa {
+
+inline constexpr u32 kMaxSlots = 4;
+inline constexpr u32 kInstrBytes = 4;
+inline constexpr u32 kMaxPacketBytes = 16;
+
+/// A decoded instruction. `imm` holds the sign-extended immediate for
+/// I/L/J forms; register fields are 7-bit specifiers (not physical indices).
+struct Instr {
+  Op op = Op::kNop;
+  RegSpec rd = 0;
+  RegSpec rs1 = 0;
+  RegSpec rs2 = 0;
+  u8 sub = 0;   // R-form 2-bit sub field (saturation mode / cache attribute)
+  i32 imm = 0;  // simm9 / imm16 / disp23 depending on form
+
+  const OpInfo& info() const { return op_info(op); }
+
+  bool operator==(const Instr&) const = default;
+};
+
+/// A decoded packet: `width` instructions, slot i executing on FUi.
+struct Packet {
+  u32 width = 0;
+  std::array<Instr, kMaxSlots> slot = {};
+
+  std::span<const Instr> instrs() const { return {slot.data(), width}; }
+  u32 bytes() const { return width * kInstrBytes; }
+
+  bool operator==(const Packet&) const = default;
+};
+
+/// Encode one instruction into a 32-bit word (header bits left zero).
+/// Throws majc::Error on field overflow or malformed operands.
+u32 encode_instr(const Instr& in);
+
+/// Decode the instruction in `word`, ignoring the header bits.
+/// Throws majc::Error on an undefined opcode.
+Instr decode_instr(u32 word);
+
+/// Encode a packet: validates slot/FU eligibility and writes the width
+/// header into the first word.
+std::vector<u32> encode_packet(const Packet& p);
+
+/// Decode the packet starting at words[0]. `words` must contain at least the
+/// full packet (4 words available is always safe at end of stream only if
+/// padded; callers use code images padded to a multiple of 4 words).
+Packet decode_packet(std::span<const u32> words);
+
+/// Validate that `in` may occupy slot `fu`; throws with a message naming the
+/// violation (wrong FU, bad pair/group register, immediate overflow).
+void validate_slot(const Instr& in, u32 fu);
+
+} // namespace majc::isa

@@ -1,0 +1,255 @@
+// MAJC-5200 opcode set and per-opcode metadata.
+//
+// The paper (§4) enumerates the instruction classes of MAJC-5200; this table
+// realizes them as a concrete 7-bit opcode space with the latencies and
+// functional-unit assignments the paper states:
+//
+//  * FU0: memory ops, control flow, ALU, integer divide, FP32 divide and
+//    reciprocal-sqrt, SIMD S2.13 divide / reciprocal-sqrt (6-cycle,
+//    non-pipelined), conditional store.
+//  * FU1-3: ALU, saturating add/sub, 2-cycle pipelined multiply / mulhi /
+//    fused multiply-add, 1-cycle SIMD add/sub, pipelined SIMD multiply /
+//    multiply-add / dot product, FP32 add/sub/mul/FMA (4-cycle pipelined),
+//    partially pipelined FP64 add/sub/mul, min/max/negate, compares,
+//    converts, pick predication, bit-field extract, leading-zero detect,
+//    byte shuffle, pixel distance.
+//  * All FUs: logical ops, shifts, add/sub, constant setting, conditional
+//    move.
+//
+// Instruction forms (all 32-bit words):
+//   R: op rd, rs1, rs2 [+ 2-bit sub field: SIMD saturation mode / cacheness]
+//   I: op rd, rs1, simm9
+//   L: op rd, imm16            (setlo/sethi; branches use rd = condition reg)
+//   J: op disp23               (call)
+//   N: op                      (no operands: nop, halt, membar)
+#pragma once
+
+#include <string_view>
+
+#include "src/support/types.h"
+
+namespace majc::isa {
+
+enum class Form : u8 { kR, kI, kL, kJ, kN };
+
+/// Dispatch class for the functional executor.
+enum class OpClass : u8 {
+  kAlu,      // integer / logical / compare / move / constants
+  kMulDiv,   // integer multiply family and divide
+  kSimd,     // 16-bit pair SIMD and byte/bit manipulation
+  kFp32,
+  kFp64,
+  kMem,      // loads, stores, prefetch, atomics, membar
+  kControl,  // branches, call, jmpl, halt, nop, trap, getcpu, gettick
+};
+
+// Operand and behaviour flags.
+inline constexpr u32 kWritesRd = 1u << 0;
+inline constexpr u32 kReadsRd = 1u << 1;   // rd is also a source (accumulators,
+                                           // predication, store data, cond)
+inline constexpr u32 kReadsRs1 = 1u << 2;
+inline constexpr u32 kReadsRs2 = 1u << 3;
+inline constexpr u32 kRdPair = 1u << 4;    // rd names an even/odd 64-bit pair
+inline constexpr u32 kRs1Pair = 1u << 5;
+inline constexpr u32 kRs2Pair = 1u << 6;
+inline constexpr u32 kRdGroup = 1u << 7;   // rd names an 8-register group
+inline constexpr u32 kLoad = 1u << 8;
+inline constexpr u32 kStore = 1u << 9;
+inline constexpr u32 kPrefetch = 1u << 10;
+inline constexpr u32 kAtomic = 1u << 11;
+inline constexpr u32 kMembar = 1u << 12;
+inline constexpr u32 kBranch = 1u << 13;   // conditional pc-relative branch
+inline constexpr u32 kCall = 1u << 14;
+inline constexpr u32 kJump = 1u << 15;     // indirect jump (jmpl)
+inline constexpr u32 kHalt = 1u << 16;
+inline constexpr u32 kTrap = 1u << 17;
+inline constexpr u32 kHasSub = 1u << 18;   // R-form 2-bit sub field is used
+
+// FU eligibility masks (bit f set = may issue in slot f).
+inline constexpr u8 kFu0 = 0b0001;
+inline constexpr u8 kFu123 = 0b1110;
+inline constexpr u8 kFuAll = 0b1111;
+
+// X-macro: OP(enumerator, "mnemonic", form, class, fumask, latency,
+//             issue_interval, flags, flops, ops16)
+//
+// `latency` is the producer-to-consumer delay inside the producing FU
+// (loads: D$ hit load-to-use). `issue_interval` 1 = fully pipelined;
+// equal to latency = non-pipelined (the FU is busy for the whole operation);
+// 2 for the partially pipelined FP64 ops. `flops` / `ops16` are the
+// contribution of one instruction to peak FP32-op / 16-bit-op counts used by
+// the headline GFLOPS / GOPS benchmark.
+#define MAJC_OPCODE_LIST(OP)                                                                                 \
+  /* ---- memory: loads (FU0) ---- */                                                                        \
+  OP(kLdb,   "ldb",   kR, kMem, kFu0, 2, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kLoad | kHasSub, 0, 0)       \
+  OP(kLdbu,  "ldbu",  kR, kMem, kFu0, 2, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kLoad | kHasSub, 0, 0)       \
+  OP(kLdh,   "ldh",   kR, kMem, kFu0, 2, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kLoad | kHasSub, 0, 0)       \
+  OP(kLdhu,  "ldhu",  kR, kMem, kFu0, 2, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kLoad | kHasSub, 0, 0)       \
+  OP(kLdw,   "ldw",   kR, kMem, kFu0, 2, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kLoad | kHasSub, 0, 0)       \
+  OP(kLdl,   "ldl",   kR, kMem, kFu0, 2, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kLoad | kRdPair | kHasSub, 0, 0) \
+  OP(kLdg,   "ldg",   kR, kMem, kFu0, 2, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kLoad | kRdGroup | kHasSub, 0, 0) \
+  OP(kLdbi,  "ldbi",  kI, kMem, kFu0, 2, 1, kWritesRd | kReadsRs1 | kLoad, 0, 0)                             \
+  OP(kLdbui, "ldbui", kI, kMem, kFu0, 2, 1, kWritesRd | kReadsRs1 | kLoad, 0, 0)                             \
+  OP(kLdhi,  "ldhi",  kI, kMem, kFu0, 2, 1, kWritesRd | kReadsRs1 | kLoad, 0, 0)                             \
+  OP(kLdhui, "ldhui", kI, kMem, kFu0, 2, 1, kWritesRd | kReadsRs1 | kLoad, 0, 0)                             \
+  OP(kLdwi,  "ldwi",  kI, kMem, kFu0, 2, 1, kWritesRd | kReadsRs1 | kLoad, 0, 0)                             \
+  OP(kLdli,  "ldli",  kI, kMem, kFu0, 2, 1, kWritesRd | kReadsRs1 | kLoad | kRdPair, 0, 0)                   \
+  OP(kLdgi,  "ldgi",  kI, kMem, kFu0, 2, 1, kWritesRd | kReadsRs1 | kLoad | kRdGroup, 0, 0)                  \
+  /* ---- memory: stores (FU0); rd is the data source ---- */                                                \
+  OP(kStb,   "stb",   kR, kMem, kFu0, 1, 1, kReadsRd | kReadsRs1 | kReadsRs2 | kStore | kHasSub, 0, 0)       \
+  OP(kSth,   "sth",   kR, kMem, kFu0, 1, 1, kReadsRd | kReadsRs1 | kReadsRs2 | kStore | kHasSub, 0, 0)       \
+  OP(kStw,   "stw",   kR, kMem, kFu0, 1, 1, kReadsRd | kReadsRs1 | kReadsRs2 | kStore | kHasSub, 0, 0)       \
+  OP(kStl,   "stl",   kR, kMem, kFu0, 1, 1, kReadsRd | kReadsRs1 | kReadsRs2 | kStore | kRdPair | kHasSub, 0, 0) \
+  OP(kStg,   "stg",   kR, kMem, kFu0, 1, 1, kReadsRd | kReadsRs1 | kReadsRs2 | kStore | kRdGroup | kHasSub, 0, 0) \
+  OP(kStbi,  "stbi",  kI, kMem, kFu0, 1, 1, kReadsRd | kReadsRs1 | kStore, 0, 0)                             \
+  OP(kSthi,  "sthi",  kI, kMem, kFu0, 1, 1, kReadsRd | kReadsRs1 | kStore, 0, 0)                             \
+  OP(kStwi,  "stwi",  kI, kMem, kFu0, 1, 1, kReadsRd | kReadsRs1 | kStore, 0, 0)                             \
+  OP(kStli,  "stli",  kI, kMem, kFu0, 1, 1, kReadsRd | kReadsRs1 | kStore | kRdPair, 0, 0)                   \
+  OP(kStgi,  "stgi",  kI, kMem, kFu0, 1, 1, kReadsRd | kReadsRs1 | kStore | kRdGroup, 0, 0)                  \
+  /* ---- conditional store (predication, FU0): store rd at [rs1] if rs2 != 0 */                             \
+  OP(kStcw,  "stcw",  kR, kMem, kFu0, 1, 1, kReadsRd | kReadsRs1 | kReadsRs2 | kStore, 0, 0)                 \
+  /* ---- prefetch / atomics / barrier (FU0) ---- */                                                         \
+  OP(kPref,  "pref",  kR, kMem, kFu0, 1, 1, kReadsRs1 | kReadsRs2 | kPrefetch, 0, 0)                         \
+  OP(kPrefi, "prefi", kI, kMem, kFu0, 1, 1, kReadsRs1 | kPrefetch, 0, 0)                                     \
+  OP(kCas,   "cas",   kR, kMem, kFu0, 2, 2, kWritesRd | kReadsRd | kReadsRs1 | kReadsRs2 | kLoad | kStore | kAtomic, 0, 0) \
+  OP(kSwap,  "swap",  kR, kMem, kFu0, 2, 2, kWritesRd | kReadsRd | kReadsRs1 | kLoad | kStore | kAtomic, 0, 0) \
+  OP(kMembar, "membar", kN, kMem, kFu0, 1, 1, kMembar, 0, 0)                                                 \
+  /* ---- control flow (FU0) ---- */                                                                         \
+  OP(kBnz,   "bnz",   kL, kControl, kFu0, 1, 1, kReadsRd | kBranch, 0, 0)                                    \
+  OP(kBz,    "bz",    kL, kControl, kFu0, 1, 1, kReadsRd | kBranch, 0, 0)                                    \
+  OP(kCall,  "call",  kJ, kControl, kFu0, 1, 1, kCall, 0, 0)                                                 \
+  OP(kJmpl,  "jmpl",  kR, kControl, kFu0, 1, 1, kWritesRd | kReadsRs1 | kJump, 0, 0)                         \
+  OP(kHalt,  "halt",  kN, kControl, kFu0, 1, 1, kHalt, 0, 0)                                                 \
+  OP(kNop,   "nop",   kN, kControl, kFuAll, 1, 1, 0, 0, 0)                                                   \
+  OP(kTrap,  "trap",  kI, kControl, kFu0, 1, 1, kReadsRs1 | kTrap, 0, 0)                                     \
+  OP(kGetcpu, "getcpu", kN, kControl, kFu0, 1, 1, kWritesRd, 0, 0)                                           \
+  OP(kGettid, "gettid", kN, kControl, kFu0, 1, 1, kWritesRd, 0, 0)                                           \
+  OP(kGettick, "gettick", kN, kControl, kFu0, 1, 1, kWritesRd, 0, 0)                                         \
+  /* ---- ALU, all FUs ---- */                                                                               \
+  OP(kAdd,   "add",   kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \
+  OP(kSub,   "sub",   kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \
+  OP(kAnd,   "and",   kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \
+  OP(kOr,    "or",    kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \
+  OP(kXor,   "xor",   kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \
+  OP(kAndn,  "andn",  kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \
+  OP(kSll,   "sll",   kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \
+  OP(kSrl,   "srl",   kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \
+  OP(kSra,   "sra",   kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \
+  OP(kAddi,  "addi",  kI, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1, 0, 0)                                   \
+  OP(kAndi,  "andi",  kI, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1, 0, 0)                                   \
+  OP(kOri,   "ori",   kI, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1, 0, 0)                                   \
+  OP(kXori,  "xori",  kI, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1, 0, 0)                                   \
+  OP(kSlli,  "slli",  kI, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1, 0, 0)                                   \
+  OP(kSrli,  "srli",  kI, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1, 0, 0)                                   \
+  OP(kSrai,  "srai",  kI, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1, 0, 0)                                   \
+  OP(kSetlo, "setlo", kL, kAlu, kFuAll, 1, 1, kWritesRd, 0, 0)                                               \
+  OP(kSethi, "sethi", kL, kAlu, kFuAll, 1, 1, kWritesRd, 0, 0)                                               \
+  OP(kOrlo,  "orlo",  kL, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRd, 0, 0)                                    \
+  OP(kCmpeq, "cmpeq", kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \
+  OP(kCmpne, "cmpne", kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \
+  OP(kCmplt, "cmplt", kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \
+  OP(kCmple, "cmple", kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \
+  OP(kCmpltu, "cmpltu", kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                     \
+  OP(kCmpleu, "cmpleu", kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                     \
+  /* conditional move (all FUs): if rs2 !=/== 0 then rd = rs1 */                                             \
+  OP(kCmovnz, "cmovnz", kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRd | kReadsRs1 | kReadsRs2, 0, 0)          \
+  OP(kCmovz,  "cmovz",  kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRd | kReadsRs1 | kReadsRs2, 0, 0)          \
+  /* pick predication (FU1-3): rd = (rd != 0) ? rs1 : rs2 */                                                 \
+  OP(kPick,  "pick",  kR, kAlu, kFu123, 1, 1, kWritesRd | kReadsRd | kReadsRs1 | kReadsRs2, 0, 0)            \
+  /* ---- integer multiply family (FU1-3) and divide (FU0) ---- */                                           \
+  OP(kSatadd, "satadd", kR, kAlu, kFu123, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                     \
+  OP(kSatsub, "satsub", kR, kAlu, kFu123, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                     \
+  OP(kMul,   "mul",   kR, kMulDiv, kFu123, 2, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                    \
+  OP(kMulhi, "mulhi", kR, kMulDiv, kFu123, 2, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                    \
+  OP(kMulhiu, "mulhiu", kR, kMulDiv, kFu123, 2, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                  \
+  OP(kMadd,  "madd",  kR, kMulDiv, kFu123, 2, 1, kWritesRd | kReadsRd | kReadsRs1 | kReadsRs2, 0, 0)         \
+  OP(kMsub,  "msub",  kR, kMulDiv, kFu123, 2, 1, kWritesRd | kReadsRd | kReadsRs1 | kReadsRs2, 0, 0)         \
+  OP(kDiv,   "div",   kR, kMulDiv, kFu0, 6, 6, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                      \
+  OP(kDivu,  "divu",  kR, kMulDiv, kFu0, 6, 6, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                      \
+  /* ---- SIMD on 16-bit pairs (FU1-3); sub field = saturation mode ---- */                                  \
+  OP(kPadd,  "padd",  kR, kSimd, kFu123, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kHasSub, 0, 2)            \
+  OP(kPsub,  "psub",  kR, kSimd, kFu123, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kHasSub, 0, 2)            \
+  OP(kPmulh, "pmulh", kR, kSimd, kFu123, 2, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kHasSub, 0, 2)            \
+  OP(kPmuls15, "pmuls15", kR, kSimd, kFu123, 2, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kHasSub, 0, 2)        \
+  OP(kPmuls213, "pmuls213", kR, kSimd, kFu123, 2, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kHasSub, 0, 2)      \
+  OP(kPmaddh, "pmaddh", kR, kSimd, kFu123, 2, 1, kWritesRd | kReadsRd | kReadsRs1 | kReadsRs2 | kHasSub, 0, 4) \
+  OP(kPmadds15, "pmadds15", kR, kSimd, kFu123, 2, 1, kWritesRd | kReadsRd | kReadsRs1 | kReadsRs2 | kHasSub, 0, 4) \
+  OP(kPmadds213, "pmadds213", kR, kSimd, kFu123, 2, 1, kWritesRd | kReadsRd | kReadsRs1 | kReadsRs2 | kHasSub, 0, 4) \
+  OP(kDotp,  "dotp",  kR, kSimd, kFu123, 2, 1, kWritesRd | kReadsRd | kReadsRs1 | kReadsRs2, 0, 4)           \
+  OP(kPmuls31, "pmuls31", kR, kSimd, kFu123, 2, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 2)                  \
+  /* ---- FU0 SIMD: S2.13 pairwise divide / reciprocal sqrt, 6 cycles ---- */                                \
+  OP(kPdiv213, "pdiv213", kR, kSimd, kFu0, 6, 6, kWritesRd | kReadsRs1 | kReadsRs2, 0, 2)                    \
+  OP(kPrsqrt213, "prsqrt213", kR, kSimd, kFu0, 6, 6, kWritesRd | kReadsRs1, 0, 2)                            \
+  /* ---- bit / byte manipulation (FU1-3) ---- */                                                            \
+  OP(kBext,  "bext",  kR, kSimd, kFu123, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kRs1Pair, 0, 0)           \
+  OP(kLzd,   "lzd",   kR, kSimd, kFu123, 1, 1, kWritesRd | kReadsRs1, 0, 0)                                  \
+  OP(kBshuf, "bshuf", kR, kSimd, kFu123, 1, 1, kWritesRd | kReadsRd | kReadsRs1 | kReadsRs2, 0, 0)           \
+  OP(kPdist, "pdist", kR, kSimd, kFu123, 1, 1, kWritesRd | kReadsRd | kReadsRs1 | kReadsRs2, 0, 4)           \
+  /* ---- FP32 (FU1-3 except div/rsqrt on FU0) ---- */                                                       \
+  OP(kFadd,  "fadd",  kR, kFp32, kFu123, 4, 1, kWritesRd | kReadsRs1 | kReadsRs2, 1, 0)                      \
+  OP(kFsub,  "fsub",  kR, kFp32, kFu123, 4, 1, kWritesRd | kReadsRs1 | kReadsRs2, 1, 0)                      \
+  OP(kFmul,  "fmul",  kR, kFp32, kFu123, 4, 1, kWritesRd | kReadsRs1 | kReadsRs2, 1, 0)                      \
+  OP(kFmadd, "fmadd", kR, kFp32, kFu123, 4, 1, kWritesRd | kReadsRd | kReadsRs1 | kReadsRs2, 2, 0)           \
+  OP(kFmsub, "fmsub", kR, kFp32, kFu123, 4, 1, kWritesRd | kReadsRd | kReadsRs1 | kReadsRs2, 2, 0)           \
+  OP(kFmin,  "fmin",  kR, kFp32, kFu123, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 1, 0)                      \
+  OP(kFmax,  "fmax",  kR, kFp32, kFu123, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 1, 0)                      \
+  OP(kFneg,  "fneg",  kR, kFp32, kFu123, 1, 1, kWritesRd | kReadsRs1, 1, 0)                                  \
+  OP(kFabs,  "fabs",  kR, kFp32, kFu123, 1, 1, kWritesRd | kReadsRs1, 1, 0)                                  \
+  OP(kFcmpeq, "fcmpeq", kR, kFp32, kFu123, 4, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                    \
+  OP(kFcmplt, "fcmplt", kR, kFp32, kFu123, 4, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                    \
+  OP(kFcmple, "fcmple", kR, kFp32, kFu123, 4, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                    \
+  OP(kItof,  "itof",  kR, kFp32, kFu123, 4, 1, kWritesRd | kReadsRs1, 0, 0)                                  \
+  OP(kFtoi,  "ftoi",  kR, kFp32, kFu123, 4, 1, kWritesRd | kReadsRs1, 0, 0)                                  \
+  OP(kFtod,  "ftod",  kR, kFp64, kFu123, 4, 2, kWritesRd | kReadsRs1 | kRdPair, 0, 0)                        \
+  OP(kDtof,  "dtof",  kR, kFp64, kFu123, 4, 2, kWritesRd | kReadsRs1 | kRs1Pair, 0, 0)                       \
+  OP(kFdiv,  "fdiv",  kR, kFp32, kFu0, 6, 6, kWritesRd | kReadsRs1 | kReadsRs2, 1, 0)                        \
+  OP(kFrsqrt, "frsqrt", kR, kFp32, kFu0, 6, 6, kWritesRd | kReadsRs1, 1, 0)                                  \
+  /* ---- FP64 on register pairs (FU1-3, partially pipelined) ---- */                                        \
+  OP(kDadd,  "dadd",  kR, kFp64, kFu123, 4, 2, kWritesRd | kReadsRs1 | kReadsRs2 | kRdPair | kRs1Pair | kRs2Pair, 0, 0) \
+  OP(kDsub,  "dsub",  kR, kFp64, kFu123, 4, 2, kWritesRd | kReadsRs1 | kReadsRs2 | kRdPair | kRs1Pair | kRs2Pair, 0, 0) \
+  OP(kDmul,  "dmul",  kR, kFp64, kFu123, 4, 2, kWritesRd | kReadsRs1 | kReadsRs2 | kRdPair | kRs1Pair | kRs2Pair, 0, 0) \
+  OP(kDmin,  "dmin",  kR, kFp64, kFu123, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kRdPair | kRs1Pair | kRs2Pair, 0, 0) \
+  OP(kDmax,  "dmax",  kR, kFp64, kFu123, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2 | kRdPair | kRs1Pair | kRs2Pair, 0, 0) \
+  OP(kDneg,  "dneg",  kR, kFp64, kFu123, 1, 1, kWritesRd | kReadsRs1 | kRdPair | kRs1Pair, 0, 0)             \
+  OP(kDcmpeq, "dcmpeq", kR, kFp64, kFu123, 4, 2, kWritesRd | kReadsRs1 | kReadsRs2 | kRs1Pair | kRs2Pair, 0, 0) \
+  OP(kDcmplt, "dcmplt", kR, kFp64, kFu123, 4, 2, kWritesRd | kReadsRs1 | kReadsRs2 | kRs1Pair | kRs2Pair, 0, 0) \
+  OP(kDcmple, "dcmple", kR, kFp64, kFu123, 4, 2, kWritesRd | kReadsRs1 | kReadsRs2 | kRs1Pair | kRs2Pair, 0, 0)
+
+enum class Op : u8 {
+#define MAJC_ENUM(name, str, form, cls, fumask, lat, interval, flags, flops, ops16) name,
+  MAJC_OPCODE_LIST(MAJC_ENUM)
+#undef MAJC_ENUM
+};
+
+inline constexpr u32 kNumOpcodes = 0
+#define MAJC_COUNT(name, str, form, cls, fumask, lat, interval, flags, flops, ops16) +1
+    MAJC_OPCODE_LIST(MAJC_COUNT)
+#undef MAJC_COUNT
+    ;
+static_assert(kNumOpcodes <= 128, "opcode space is 7 bits");
+
+struct OpInfo {
+  std::string_view mnemonic;
+  Form form;
+  OpClass cls;
+  u8 fu_mask;        // which slots (FUs) may execute this op
+  u8 latency;        // producer-to-consumer cycles within the producing FU
+  u8 issue_interval; // cycles before the FU accepts another op of this kind
+  u32 flags;
+  u8 flops;          // FP32 operations per instruction (peak accounting)
+  u8 ops16;          // 16-bit operations per instruction (peak accounting)
+
+  constexpr bool has(u32 flag) const { return (flags & flag) != 0; }
+  constexpr bool is_mem() const { return cls == OpClass::kMem; }
+  constexpr bool is_load() const { return has(kLoad); }
+  constexpr bool is_store() const { return has(kStore); }
+  constexpr bool writes_rd() const { return has(kWritesRd); }
+};
+
+/// Metadata for an opcode. O(1) table lookup.
+const OpInfo& op_info(Op op);
+
+/// Parse a mnemonic; returns false if unknown.
+bool op_from_name(std::string_view name, Op& out);
+
+} // namespace majc::isa

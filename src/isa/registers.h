@@ -1,0 +1,76 @@
+// MAJC-5200 register model.
+//
+// Each CPU has 224 logical 32-bit registers: 96 globals visible to all four
+// functional units plus 32 locals private to each FU (paper §3.2). An
+// instruction encodes a register in 7 bits: specifiers 0..95 name globals
+// g0..g95 and specifiers 96..127 name locals l0..l31 *of the functional unit
+// executing the instruction*. Global g0 reads as zero and ignores writes
+// (the model's hardwired zero; the paper notes all units "are capable of
+// setting arbitrary constants", and a zero source makes MOVE/NOT aliases
+// encodable without extra opcodes).
+//
+// 64-bit quantities (long loads/stores, double precision FP) live in
+// even/odd register pairs; the even register holds the most significant
+// word. Group loads/stores move 32 bytes between memory and 8 consecutive
+// registers. Pairs and groups must not cross the global/local boundary or a
+// local window edge.
+#pragma once
+
+#include <string>
+
+#include "src/support/error.h"
+#include "src/support/types.h"
+
+namespace majc::isa {
+
+inline constexpr u32 kNumGlobalRegs = 96;
+inline constexpr u32 kLocalRegsPerFu = 32;
+inline constexpr u32 kNumFus = 4;
+inline constexpr u32 kNumRegs = kNumGlobalRegs + kLocalRegsPerFu * kNumFus; // 224
+
+/// 7-bit register specifier as encoded in an instruction word.
+/// 0..95 = global, 96..127 = local of the executing FU.
+using RegSpec = u8;
+
+inline constexpr RegSpec kFirstLocalSpec = 96;
+inline constexpr u32 kRegSpecBits = 7;
+
+/// Physical register index 0..223 within one CPU's register file.
+using PhysReg = u8;
+
+/// Map an encoded specifier to a physical register for slot `fu` (0..3).
+constexpr PhysReg to_phys(RegSpec spec, u32 fu) {
+  if (spec < kFirstLocalSpec) return spec;
+  return static_cast<PhysReg>(kNumGlobalRegs + fu * kLocalRegsPerFu +
+                              (spec - kFirstLocalSpec));
+}
+
+constexpr bool is_global_spec(RegSpec spec) { return spec < kFirstLocalSpec; }
+
+/// True if `spec` and the following register can form a 64-bit pair without
+/// crossing the global/local boundary. Pairs must be even-aligned.
+constexpr bool valid_pair_spec(RegSpec spec) {
+  if (spec % 2 != 0) return false;
+  if (is_global_spec(spec)) return u32{spec} + 1 < kNumGlobalRegs;
+  return u32{spec} + 1 < kFirstLocalSpec + kLocalRegsPerFu;
+}
+
+/// True if `spec` can start an 8-register group (32-byte group load/store).
+constexpr bool valid_group_spec(RegSpec spec) {
+  if (spec % 8 != 0) return false;
+  if (is_global_spec(spec)) return u32{spec} + 7 < kNumGlobalRegs;
+  return u32{spec} + 7 < kFirstLocalSpec + kLocalRegsPerFu;
+}
+
+/// Conventional role assignments used by the assembler and kernels.
+/// g1 is the CALL link register; g2 the stack pointer by convention.
+inline constexpr RegSpec kZeroReg = 0;
+inline constexpr RegSpec kLinkReg = 1;
+
+/// Render a specifier as "gN" or "lN".
+inline std::string reg_name(RegSpec spec) {
+  if (is_global_spec(spec)) return "g" + std::to_string(spec);
+  return "l" + std::to_string(spec - kFirstLocalSpec);
+}
+
+} // namespace majc::isa

@@ -1,0 +1,354 @@
+#include "src/kernels/biquad.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/kernels/codegen.h"
+#include "src/kernels/dsp_data.h"
+
+namespace majc::kernels {
+namespace {
+
+// Register map (globals):
+//   g4 = x ptr, g6 = y ptr, g7 = sample counter, g86 = preload scratch,
+//   g8..g47   coefficients: section k at g(8+5k) = {b0,b1,b2,a1,a2}
+//   g48..g55  s1 states, g56..g63 s2 states,
+//   g64..g72  y chain: g64 = section input sample, g(65+k) = section k output
+//   g90/g91   ticks.
+constexpr u32 kCoefBase = 8;
+constexpr u32 kS1Base = 48;
+constexpr u32 kS2Base = 56;
+constexpr u32 kYBase = 64;
+
+std::string coef(u32 section, u32 which) {
+  return g(kCoefBase + 5 * section + which);
+}
+std::string s1(u32 k) { return g(kS1Base + k); }
+std::string s2(u32 k) { return g(kS2Base + k); }
+std::string y(u32 k) { return g(kYBase + k); }  // y(0) = input sample
+
+/// Per-sample bookkeeping the software-pipelined IIR needs: where each
+/// section's final s1/s2 updates landed, so the next sample's reads are
+/// placed after them in packet order.
+struct CascadeTail {
+  std::array<u32, kBiquadSections> s1_done{};  // packet of the last s1 write
+  std::array<u32, kBiquadSections> s2_done{};
+  // Packet of the last read of each y-chain register (for safe reuse of a
+  // y block by a later in-flight sample).
+  std::array<u32, kBiquadSections + 1> y_last{};
+  u32 y_out_pkt = 0;  // packet of the final section's output fmadd
+};
+
+/// Schedule one sample through the 8-section cascade into `sched` starting
+/// no earlier than `base`. `ybase` selects the y-chain register block (so
+/// two in-flight samples use disjoint registers); `prev` (when non-null)
+/// carries the previous sample's update placements, which this sample's
+/// state reads must follow in packet order (cross-sample RAW). Returns the
+/// placements of this sample's own updates.
+///
+/// Shape: section k's critical fmadd sits at a 4-packet cadence on FU1 with
+/// a just-in-time y(k+1) = s1_k copy two packets earlier; the four state
+/// updates retire on FU2/FU3 in bypass-legal slots.
+CascadeTail schedule_cascade(PacketScheduler& sched, u32 base, u32 ybase,
+                             const CascadeTail* prev,
+                             const CascadeTail* block_prev = nullptr) {
+  auto yr = [&](u32 k) { return g(ybase + k); };
+  CascadeTail tail;
+  u32 chain = base + 2;  // packet of section k's critical fmadd
+  for (u32 k = 0; k < kBiquadSections; ++k) {
+    // y(k+1) = s1_k, after the previous sample's final s1_k write (+2 for
+    // its cross-FU retirement, +4 for the fmadd's latency on FU2). When a
+    // y block is being reused, the write must also follow the block's
+    // previous occupant's last read of yr(k+1) (same packet is legal:
+    // parallel read semantics).
+    u32 copy_earliest = chain >= 2 ? chain - 2 : 0;
+    if (prev != nullptr) {
+      copy_earliest = std::max(copy_earliest, prev->s1_done[k] + 6);
+    }
+    if (block_prev != nullptr) {
+      copy_earliest = std::max(copy_earliest, block_prev->y_last[k + 1]);
+    }
+    const u32 cp = sched.place("mov " + yr(k + 1) + ", " + s1(k), 1,
+                               copy_earliest);
+    const u32 p = sched.place(
+        "fmadd " + yr(k + 1) + ", " + coef(k, 0) + ", " + yr(k), 1,
+        std::max(cp + 1, chain));
+    // Updates: y(k+1) (FU1, 4-cycle) is bypass-ready on FU2/FU3 at p+6.
+    u32 s2_read_earliest = p + 6;
+    if (prev != nullptr) {
+      s2_read_earliest = std::max(s2_read_earliest, prev->s2_done[k] + 6);
+    }
+    const u32 u1a = sched.place("mov " + s1(k) + ", " + s2(k), 2,
+                                s2_read_earliest);
+    const u32 u1b = sched.place(
+        "fmul " + s2(k) + ", " + coef(k, 4) + ", " + yr(k + 1), 3,
+        std::max(p + 6, u1a));  // reads s2's old value? no: writes s2; must
+                                // follow the mov that reads it
+    const u32 u2 = sched.place(
+        "fmadd " + s1(k) + ", " + coef(k, 3) + ", " + yr(k + 1), 2, u1a + 1);
+    const u32 u3 = sched.place(
+        "fmadd " + s2(k) + ", " + coef(k, 2) + ", " + yr(k), 3, u1b + 4);
+    const u32 u4 = sched.place(
+        "fmadd " + s1(k) + ", " + coef(k, 1) + ", " + yr(k), 2,
+        std::max(u2 + 4, u1a + 1));
+    tail.s1_done[k] = u4;
+    tail.s2_done[k] = u3;
+    // Last readers of yr(k): this section's fmadd/u3/u4; of yr(k+1): the
+    // update multiplies u1b/u2 (and the caller's store for yr(8)).
+    tail.y_last[k] = std::max({tail.y_last[k], p, u3, u4});
+    tail.y_last[k + 1] = std::max(u1b, u2);
+    tail.y_out_pkt = p;
+    chain = p + 4;
+  }
+  return tail;
+}
+
+std::string coef_preload(const std::vector<BiquadCoefs>& c) {
+  AsmBuilder b;
+  b.line(".data");
+  b.line("ticks: .space 8");
+  b.line("  .align 8");
+  b.label("coefs");
+  std::vector<float> flat;
+  for (const auto& s : c) {
+    flat.push_back(s.b0);
+    flat.push_back(s.b1);
+    flat.push_back(s.b2);
+    flat.push_back(s.a1);
+    flat.push_back(s.a2);
+  }
+  b.line(float_data(flat));
+  return b.str();
+}
+
+void emit_coef_load(AsmBuilder& b) {
+  b.line(load_addr(3, "coefs"));
+  for (u32 grp = 0; grp < 5; ++grp) {  // 40 floats = 5 group loads
+    const u32 off = grp * 32;
+    if (off <= 255) {
+      b.line("ldgi g" + std::to_string(kCoefBase + grp * 8) + ", g3, " +
+             imm(off));
+    } else {
+      b.line("setlo g86, " + imm(off));
+      b.line("ldg g" + std::to_string(kCoefBase + grp * 8) + ", g3, g86");
+    }
+  }
+  // Zero the states.
+  for (u32 k = 0; k < kBiquadSections; ++k) {
+    b.packet({"nop", "mov " + s1(k) + ", g0", "mov " + s2(k) + ", g0"});
+  }
+}
+
+} // namespace
+
+std::vector<BiquadCoefs> make_biquad_coefs(u64 seed) {
+  std::vector<BiquadCoefs> c(kBiquadSections);
+  SplitMix64 rng(seed);
+  for (auto& s : c) {
+    const double r = rng.next_double(0.3, 0.9);
+    const double theta = rng.next_double(0.2, 2.9);
+    s.a1 = static_cast<float>(2.0 * r * std::cos(theta));
+    s.a2 = static_cast<float>(-r * r);
+    s.b0 = static_cast<float>(rng.next_double(0.2, 1.0));
+    s.b1 = static_cast<float>(rng.next_double(-0.5, 0.5));
+    s.b2 = static_cast<float>(rng.next_double(-0.5, 0.5));
+  }
+  return c;
+}
+
+void biquad_cascade_reference(const std::vector<BiquadCoefs>& c,
+                              const float* x, float* y, u32 n, float* s1,
+                              float* s2) {
+  for (u32 i = 0; i < n; ++i) {
+    float v = x[i];
+    for (u32 k = 0; k < c.size(); ++k) {
+      const float in = v;
+      v = std::fmaf(c[k].b0, in, s1[k]);  // section output
+      const float t = c[k].a2 * v;        // FU3 fmul
+      s1[k] = std::fmaf(c[k].a1, v, s2[k]);
+      s2[k] = std::fmaf(c[k].b2, in, t);
+      s1[k] = std::fmaf(c[k].b1, in, s1[k]);
+    }
+    y[i] = v;
+  }
+}
+
+KernelSpec make_biquad_spec(u64 seed) {
+  const auto c = make_biquad_coefs(seed);
+  // Three samples: two warm the I$/D$, the third is the measured pass —
+  // the steady-state cost the paper's 63-cycle figure describes.
+  const auto x = random_floats(3, seed ^ 0xB1, -1.0, 1.0);
+
+  AsmBuilder b;
+  b.line(coef_preload(c));
+  b.label("xin");
+  b.line(float_data(x));
+  b.label("yout");
+  b.line("  .space 12");
+  b.label("states");
+  b.line("  .space 64");
+  b.line(".code");
+  emit_coef_load(b);
+  b.line(load_addr(4, "xin"));
+  b.line(load_addr(6, "yout"));
+  b.line(load_addr(90, "ticks"));
+  b.line("setlo g7, 3");
+  b.label("sample");
+  // The loop top re-stamps ticks+0 each pass, so ticks+0 holds the start of
+  // the final (cache-warm) iteration when the loop exits.
+  {
+    PacketScheduler sched;
+    const u32 t0 = sched.place("gettick g91", 0, 0);
+    sched.place("stwi g91, g90, 0", 0, t0 + 1);
+    const u32 ld = sched.place("ldwi " + y(0) + ", g4, 0", 0, 0);
+    sched.place("addi g4, g4, 4", 0, ld + 1);
+    sched.place("addi g7, g7, -1", 0, ld + 1);
+    const CascadeTail tail =
+        schedule_cascade(sched, ld + 2, kYBase, nullptr);
+    sched.place("stwi " + y(kBiquadSections) + ", g6, 0", 0,
+                tail.y_out_pkt + 6);
+    sched.place("addi g6, g6, 4", 0, tail.y_out_pkt + 7);
+    sched.emit(b);
+  }
+  b.line("bnz g7, sample");
+  b.line(tick_stop());
+  // Spill states for validation.
+  b.line(load_addr(5, "states"));
+  for (u32 k = 0; k < kBiquadSections; ++k) {
+    b.line("stwi " + s1(k) + ", g5, " + imm(4 * k));
+    b.line("stwi " + s2(k) + ", g5, " + imm(32 + 4 * k));
+  }
+  b.line("halt");
+
+  KernelSpec spec;
+  spec.name = "biquad8";
+  spec.source = b.str();
+  spec.validate = [c, x](sim::MemoryBus& mem, const masm::Image& img,
+                         std::string& msg) {
+    float s1[kBiquadSections] = {};
+    float s2[kBiquadSections] = {};
+    float yref[3];
+    biquad_cascade_reference(c, x.data(), yref, 3, s1, s2);
+    const auto rd = [&](Addr a) {
+      float f;
+      const u32 r = mem.read_u32(a);
+      std::memcpy(&f, &r, 4);
+      return f;
+    };
+    for (u32 i = 0; i < 3; ++i) {
+      if (rd(img.symbol("yout") + 4 * i) != yref[i]) {
+        msg = "y[" + std::to_string(i) +
+              "] = " + std::to_string(rd(img.symbol("yout") + 4 * i)) +
+              ", expected " + std::to_string(yref[i]);
+        return false;
+      }
+    }
+    const Addr st = img.symbol("states");
+    for (u32 k = 0; k < kBiquadSections; ++k) {
+      if (rd(st + 4 * k) != s1[k] || rd(st + 32 + 4 * k) != s2[k]) {
+        msg = "state mismatch in section " + std::to_string(k);
+        return false;
+      }
+    }
+    return true;
+  };
+  return spec;
+}
+
+KernelSpec make_iir_spec(u64 seed) {
+  const auto c = make_biquad_coefs(seed);
+  const auto x = random_floats(kIirSamples, seed ^ 0x11B, -1.0, 1.0);
+
+  AsmBuilder b;
+  b.line(coef_preload(c));
+  b.line("  .align 4");
+  b.label("xin");
+  b.line(float_data(x));
+  b.label("yout");
+  b.line("  .space " + imm(4 * kIirSamples));
+  b.line(".code");
+  emit_coef_load(b);
+  b.line(load_addr(90, "ticks"));
+  // Two passes over the same 64 samples (states re-zeroed per pass, so the
+  // output is identical): the first warms the I$, the loop-top stamp makes
+  // ticks measure the second, steady-state pass.
+  b.line("setlo g5, 2");  // pass counter (g8..g47 hold coefficients)
+  b.label("pass");
+  for (u32 k = 0; k < kBiquadSections; ++k) {
+    b.packet({"nop", "mov " + s1(k) + ", g0", "mov " + s2(k) + ", g0"});
+  }
+  b.line(load_addr(4, "xin"));
+  b.line(load_addr(6, "yout"));
+  b.line("setlo g7, " + imm(kIirSamples / 4));
+  b.line("gettick g91");
+  b.packet({"stwi g91, g90, 0", "addi g5, g5, -1"});
+  // Software-pipelined at four samples per iteration over two rotating
+  // y-register blocks: each sample's section-k work schedules as soon as
+  // the previous sample's final state write for that section has retired,
+  // overlapping update drains with the next samples' critical chains —
+  // the cross-sample pipelining the paper's 31.6 cycles/sample implies.
+  b.label("sample");
+  {
+    PacketScheduler sched;
+    const u32 kYA = kYBase;                          // block 1 (samples A, C)
+    const u32 kYB = kYBase + kBiquadSections + 1;    // block 2 (samples B, D)
+    const u32 lda = sched.place("ldwi " + g(kYA) + ", g4, 0", 0, 0);
+    const u32 ldb = sched.place("ldwi " + g(kYB) + ", g4, 4", 0, 0);
+    CascadeTail ta = schedule_cascade(sched, lda + 2, kYA, nullptr);
+    CascadeTail tb = schedule_cascade(sched, ldb + 2, kYB, &ta);
+    const u32 sta = sched.place(
+        "stwi " + g(kYA + kBiquadSections) + ", g6, 0", 0, ta.y_out_pkt + 6);
+    ta.y_last[kBiquadSections] =
+        std::max(ta.y_last[kBiquadSections], sta);
+    // Sample C reuses block 1: its input load overwrites yr(0) after A's
+    // last read of it.
+    const u32 ldc = sched.place("ldwi " + g(kYA) + ", g4, 8", 0,
+                                ta.y_last[0]);
+    const CascadeTail tc = schedule_cascade(sched, ldc + 2, kYA, &tb, &ta);
+    const u32 stb = sched.place(
+        "stwi " + g(kYB + kBiquadSections) + ", g6, 4", 0, tb.y_out_pkt + 6);
+    tb.y_last[kBiquadSections] =
+        std::max(tb.y_last[kBiquadSections], stb);
+    const u32 ldd = sched.place("ldwi " + g(kYB) + ", g4, 12", 0,
+                                tb.y_last[0]);
+    const CascadeTail td = schedule_cascade(sched, ldd + 2, kYB, &tc, &tb);
+    sched.place("stwi " + g(kYA + kBiquadSections) + ", g6, 8", 0,
+                tc.y_out_pkt + 6);
+    const u32 std_ = sched.place(
+        "stwi " + g(kYB + kBiquadSections) + ", g6, 12", 0, td.y_out_pkt + 6);
+    sched.place("addi g4, g4, 16", 0, ldd + 1);
+    sched.place("addi g6, g6, 16", 0, std_ + 1);
+    sched.place("addi g7, g7, -1", 0, 1);
+    sched.emit(b);
+  }
+  b.line("bnz g7, sample");
+  b.line("bnz g5, pass");
+  b.line(tick_stop());
+  b.line("halt");
+
+  KernelSpec spec;
+  spec.name = "iir16x64";
+  spec.source = b.str();
+  spec.validate = [c, x](sim::MemoryBus& mem, const masm::Image& img,
+                         std::string& msg) {
+    float s1[kBiquadSections] = {};
+    float s2[kBiquadSections] = {};
+    std::vector<float> yref(kIirSamples);
+    biquad_cascade_reference(c, x.data(), yref.data(), kIirSamples, s1, s2);
+    const Addr ya = img.symbol("yout");
+    for (u32 i = 0; i < kIirSamples; ++i) {
+      float got;
+      const u32 raw = mem.read_u32(ya + 4 * i);
+      std::memcpy(&got, &raw, 4);
+      if (got != yref[i]) {
+        msg = "y[" + std::to_string(i) + "] = " + std::to_string(got) +
+              ", expected " + std::to_string(yref[i]);
+        return false;
+      }
+    }
+    return true;
+  };
+  return spec;
+}
+
+} // namespace majc::kernels

@@ -1,0 +1,42 @@
+// Cascade of eight 2nd-order biquad sections (Table 2, row 1) and the
+// 16th-order IIR filter over 64 samples (Table 2, row 3).
+//
+// Both use the transposed direct-form II section:
+//   y   = b0*x + s1
+//   s1' = b1*x + a1*y + s2
+//   s2' = b2*x + a2*y
+// (feedback signs folded into a1/a2). The critical path from section input
+// to output is a single fused multiply-add, so the cascade's latency is
+// ~4 cycles per section while state updates retire on FU2/FU3 off the
+// critical path — the scheduling the paper's 63-cycle figure implies.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+inline constexpr u32 kBiquadSections = 8;
+inline constexpr u32 kIirSamples = 64;
+
+struct BiquadCoefs {
+  float b0, b1, b2, a1, a2;
+};
+
+/// Deterministic stable coefficient set.
+std::vector<BiquadCoefs> make_biquad_coefs(u64 seed);
+
+/// Golden model: runs `n` samples through the cascade, mirroring the
+/// kernel's fmaf structure exactly. `s1`/`s2` are the per-section states.
+void biquad_cascade_reference(const std::vector<BiquadCoefs>& c,
+                              const float* x, float* y, u32 n, float* s1,
+                              float* s2);
+
+/// Single sample through 8 sections (paper row: 63 cycles).
+KernelSpec make_biquad_spec(u64 seed = 1);
+
+/// 64 samples through the same 8-section cascade (16th-order IIR row).
+KernelSpec make_iir_spec(u64 seed = 1);
+
+} // namespace majc::kernels

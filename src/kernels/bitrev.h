@@ -1,0 +1,16 @@
+// Bit-reversal reordering of a 1024-point complex array (Table 2, row 9).
+//
+// The paper notes MAJC has no bit-reversed addressing mode, so reordering
+// is performed with a precomputed table. The kernel walks a table of the
+// 496 swap pairs (fixed points excluded), group-loading four table entries
+// at a time and exchanging 8-byte complex values with pair loads/stores —
+// ~5 cycles per swap, the rate behind the paper's 2484-cycle figure.
+#pragma once
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+KernelSpec make_bitrev_spec(u64 seed = 1);
+
+} // namespace majc::kernels

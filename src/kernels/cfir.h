@@ -1,0 +1,28 @@
+// 64-sample, 64-tap complex FIR filter (Table 2, row 4).
+//
+// y[n] = sum_k h[k] * x[n+k] over complex singles stored (re, im)
+// interleaved. Each tap costs four fused multiply-adds; taps rotate across
+// FU1..FU3 and each FU keeps four accumulators (+re*re, +im*im, +re*im,
+// +im*re partial sums) so no accumulator is reused within the FP latency.
+// Both the coefficient and sample streams are fetched with 8-byte pair
+// loads, which makes FU0's load bandwidth the bottleneck — 2 loads/tap —
+// exactly the balance the paper's 135-cycles-per-output figure implies.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+inline constexpr u32 kCfirTaps = 64;
+inline constexpr u32 kCfirOutputs = 64;
+
+KernelSpec make_cfir_spec(u64 seed = 1);
+
+/// Golden model mirroring the kernel's accumulation structure exactly.
+void cfir_reference(const std::complex<float>* h, const std::complex<float>* x,
+                    std::complex<float>* y);
+
+} // namespace majc::kernels

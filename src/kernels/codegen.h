@@ -1,0 +1,110 @@
+// Small assembly-text builder used by kernels that generate unrolled code.
+//
+// The paper's kernels were hand-scheduled by Sun's engineers; ours are
+// emitted by C++ generators, which makes unrolling, software pipelining and
+// register allocation explicit and reviewable while still producing plain
+// MAJC assembly that goes through the real assembler.
+#pragma once
+
+#include <array>
+#include <initializer_list>
+#include <sstream>
+#include <vector>
+#include <string>
+
+#include "src/support/types.h"
+
+namespace majc::kernels {
+
+inline std::string g(u32 i) { return "g" + std::to_string(i); }
+inline std::string l(u32 i) { return "l" + std::to_string(i); }
+inline std::string imm(i64 v) { return std::to_string(v); }
+
+class AsmBuilder {
+public:
+  /// Append one raw source line (a label, a directive, or a full packet).
+  AsmBuilder& line(const std::string& s) {
+    out_ << s << '\n';
+    return *this;
+  }
+
+  /// Append a packet from slot strings; empty slots at the tail are dropped,
+  /// interior gaps must be explicit "nop"s (slot position selects the FU).
+  AsmBuilder& packet(std::initializer_list<std::string> slots) {
+    bool first = true;
+    for (const std::string& s : slots) {
+      if (s.empty()) break;
+      out_ << (first ? "" : " | ") << s;
+      first = false;
+    }
+    out_ << '\n';
+    return *this;
+  }
+
+  AsmBuilder& label(const std::string& name) {
+    out_ << name << ":\n";
+    return *this;
+  }
+
+  AsmBuilder& comment(const std::string& text) {
+    out_ << "# " << text << '\n';
+    return *this;
+  }
+
+  std::string str() const { return out_.str(); }
+
+private:
+  std::ostringstream out_;
+};
+
+/// Greedy packet scheduler for generated kernels: ops are placed at the
+/// first free slot of a requested FU (or any compute FU) at or after an
+/// `earliest` packet that encodes the dependence/bypass distance the
+/// generator wants. Emission preserves packet order, so functional
+/// correctness only requires that consumers are placed after producers.
+class PacketScheduler {
+public:
+  /// Place `op` on FU `fu` (0..3) no earlier than packet `earliest`;
+  /// returns the chosen packet index.
+  u32 place(const std::string& op, u32 fu, u32 earliest) {
+    u32 p = earliest;
+    while (used(p, fu)) ++p;
+    at(p)[fu] = op;
+    return p;
+  }
+
+  /// Place on whichever compute FU (1..3) is free earliest.
+  u32 place_any(const std::string& op, u32 earliest) {
+    for (u32 p = earliest;; ++p) {
+      for (u32 fu = 1; fu <= 3; ++fu) {
+        if (!used(p, fu)) {
+          at(p)[fu] = op;
+          return p;
+        }
+      }
+    }
+  }
+
+  void emit(AsmBuilder& b) const;
+
+private:
+  std::array<std::string, 4>& at(u32 p) {
+    if (p >= pkts_.size()) pkts_.resize(p + 1);
+    return pkts_[p];
+  }
+  bool used(u32 p, u32 fu) const {
+    return p < pkts_.size() && !pkts_[p][fu].empty();
+  }
+
+  std::vector<std::array<std::string, 4>> pkts_;
+};
+
+inline void PacketScheduler::emit(AsmBuilder& b) const {
+  for (const auto& s : pkts_) {
+    if (s[0].empty() && s[1].empty() && s[2].empty() && s[3].empty()) continue;
+    b.packet({s[0].empty() ? "nop" : s[0], s[1].empty() ? "nop" : s[1],
+              s[2].empty() ? "nop" : s[2], s[3].empty() ? "nop" : s[3]});
+  }
+}
+
+} // namespace majc::kernels

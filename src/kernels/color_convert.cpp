@@ -1,0 +1,206 @@
+#include "src/kernels/color_convert.h"
+
+#include <cstring>
+
+#include "src/kernels/codegen.h"
+#include "src/kernels/dsp_data.h"
+
+namespace majc::kernels {
+namespace {
+
+// Register map:
+//  g8 = chroma bias pair, g18 = post-shift lane mask 0x00FF00FF
+//  g9..g17 = coefficient broadcast pairs (component-major: Y:rgb, Cb:rgb,
+//            Cr:rgb)
+//  g20..g22 = R/G/B plane bases, g23..g25 = Y/Cb/Cr plane bases
+//  g26 = shared byte index, g33 = pair counter
+//  g30..g32 = loaded R/G/B pair words, g40..g42 = Y/Cb/Cr accumulators
+
+std::string coef_pair_setup(u32 reg, i16 c) {
+  const u32 cc = static_cast<u16>(c);
+  return "sethi " + g(reg) + ", " + imm(cc) + "\norlo " + g(reg) + ", " +
+         imm(cc) + "\n";
+}
+
+} // namespace
+
+void color_convert_reference(const std::vector<i16>& r,
+                             const std::vector<i16>& gch,
+                             const std::vector<i16>& bch, std::vector<i16>& y,
+                             std::vector<i16>& cb, std::vector<i16>& cr) {
+  const std::size_t n = r.size();
+  y.resize(n);
+  cb.resize(n);
+  cr.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const i32 rv = r[i], gv = gch[i], bv = bch[i];
+    y[i] = static_cast<i16>(
+        static_cast<u32>(kCcCoef[0][0] * rv + kCcCoef[0][1] * gv +
+                         kCcCoef[0][2] * bv) >> 7 & 0xFF);
+    cb[i] = static_cast<i16>(
+        static_cast<u32>(kCcBias + kCcCoef[1][0] * rv + kCcCoef[1][1] * gv +
+                         kCcCoef[1][2] * bv) >> 7 & 0xFF);
+    cr[i] = static_cast<i16>(
+        static_cast<u32>(kCcBias + kCcCoef[2][0] * rv + kCcCoef[2][1] * gv +
+                         kCcCoef[2][2] * bv) >> 7 & 0xFF);
+  }
+}
+
+KernelSpec make_color_convert_spec(u64 seed) {
+  std::vector<i16> r(kCcPixels), gg(kCcPixels), bb(kCcPixels);
+  SplitMix64 rng(seed ^ 0xCC);
+  for (u32 i = 0; i < kCcPixels; ++i) {
+    r[i] = static_cast<i16>(rng.next_below(256));
+    gg[i] = static_cast<i16>(rng.next_below(256));
+    bb[i] = static_cast<i16>(rng.next_below(256));
+  }
+
+  AsmBuilder b;
+  b.line(".data");
+  b.line("ticks: .space 8");
+  b.line("  .align 32");
+  // Plane bases are staggered by 2496 bytes each. Six equal 512 KB planes
+  // walked with a common index would otherwise (a) land every stream and
+  // its prefetch window in the same 4-way D$ sets and (b) march all six
+  // fill streams through the same DRDRAM bank, turning every line fill
+  // into a serialized row miss. 2496 = 2048 + 448 advances each plane one
+  // bank (distinct banks for all six streams, page hits within each) and
+  // 78 cache sets (stream windows at worst pairwise-overlapping, well
+  // within 4 ways). This is the data placement a performance programmer
+  // does for a banked-DRAM machine, so the kernel does it too.
+  for (const char* plane : {"rp", "gp", "bp", "yp", "cbp", "crp"}) {
+    b.label(plane);
+    b.line("  .space " + imm(kCcPixels * 2));
+    b.line("  .space 2496");
+    b.line("  .align 32");
+  }
+  b.line(".code");
+  b.line(coef_pair_setup(8, kCcBias));
+  for (u32 c = 0; c < 3; ++c) {
+    for (u32 k = 0; k < 3; ++k) {
+      b.line(coef_pair_setup(9 + 3 * c + k, kCcCoef[c][k]));
+    }
+  }
+  b.line("sethi g18, 0x00ff");
+  b.line("orlo g18, 0x00ff");
+  b.line(load_addr(20, "rp"));
+  b.line(load_addr(21, "gp"));
+  b.line(load_addr(22, "bp"));
+  b.line(load_addr(23, "yp"));
+  b.line(load_addr(24, "cbp"));
+  b.line(load_addr(25, "crp"));
+  // Four pixel pairs per loop body (unroll x4): FU0 streams 12 loads,
+  // 12 stores and 6 block prefetches (3 input + 3 output planes, ~12 lines
+  // ahead) while the twelve SIMD chains fill FU1..FU3 — the prefetch usage
+  // the paper highlights for image kernels with predictable access.
+  b.line("setlo g26, 0");    // index set 0
+  b.line("setlo g28, 4");    // index set 1
+  b.line("setlo g29, 8");    // index set 2
+  b.line("setlo g34, 12");   // index set 3
+  b.line("setlo g27, 384");  // prefetch index
+  b.line("sethi g33, " + imm((kCcPixels / 8) >> 16));
+  b.line("orlo g33, " + imm((kCcPixels / 8) & 0xFFFF));
+  b.line(tick_start());
+
+  b.label("pix");
+  {
+    const char* idx[4] = {"g26", "g28", "g29", "g34"};
+    // Per-set registers: loads (R,G,B) and accumulators (Y,Cb,Cr).
+    const u32 ld[4][3] = {{30, 31, 32}, {50, 51, 52}, {60, 61, 62},
+                          {70, 71, 72}};
+    const u32 ac[4][3] = {{40, 41, 42}, {43, 44, 45}, {54, 55, 56},
+                          {57, 58, 59}};
+    PacketScheduler sched;
+    u32 last_store = 0;
+    for (u32 s = 0; s < 4; ++s) {
+      const u32 base = 3 * s;
+      u32 lp[3];
+      for (u32 c = 0; c < 3; ++c) {
+        lp[c] = sched.place(std::string("ldw ") + g(ld[s][c]) + ", g2" +
+                                std::to_string(c) + ", " + idx[s],
+                            0, base + c);
+      }
+      sched.place("mov " + g(ac[s][1]) + ", g8", 2, base);
+      sched.place("mov " + g(ac[s][2]) + ", g8", 3, base);
+      u32 done = 0;
+      for (u32 comp = 0; comp < 3; ++comp) {
+        const u32 fu = comp + 1;
+        const u32 a = ac[s][comp];
+        const std::string first = comp == 0 ? "pmulh " : "pmaddh ";
+        u32 p = sched.place(
+            first + g(a) + ", " + g(ld[s][0]) + ", " + g(9 + 3 * comp), fu,
+            lp[0] + 2);
+        p = sched.place("pmaddh " + g(a) + ", " + g(ld[s][1]) + ", " +
+                            g(10 + 3 * comp),
+                        fu, std::max(p + 2, lp[1] + 2));
+        p = sched.place("pmaddh " + g(a) + ", " + g(ld[s][2]) + ", " +
+                            g(11 + 3 * comp),
+                        fu, std::max(p + 2, lp[2] + 2));
+        p = sched.place("srli " + g(a) + ", " + g(a) + ", 7", fu, p + 2);
+        p = sched.place("and " + g(a) + ", " + g(a) + ", g18", fu, p + 1);
+        done = std::max(done, p);
+      }
+      for (u32 c = 0; c < 3; ++c) {
+        last_store = std::max(
+            last_store,
+            sched.place(std::string("stw.na ") + g(ac[s][c]) + ", g2" +
+                            std::to_string(3 + c) + ", " + idx[s],
+                        0, done + 3));
+      }
+    }
+    // Block prefetches ~12 lines ahead on the input planes (outputs use
+    // non-allocating write-combined stores and need no fills).
+    for (u32 pl = 0; pl < 3; ++pl) {
+      sched.place("pref g0, g2" + std::to_string(pl) + ", g27", 0, 12);
+    }
+    // Index bumps after every store that reads them; loop control last.
+    sched.place("addi g26, g26, 16", 1, last_store + 1);
+    sched.place("addi g28, g28, 16", 2, last_store + 1);
+    sched.place("addi g29, g29, 16", 3, last_store + 1);
+    sched.place("addi g34, g34, 16", 1, last_store + 2);
+    sched.place("addi g27, g27, 16", 2, last_store + 2);
+    sched.place("addi g33, g33, -1", 3, last_store + 2);
+    sched.emit(b);
+  }
+  b.line("bnz g33, pix");
+  b.line(tick_stop());
+  b.line("halt");
+
+  KernelSpec spec;
+  spec.name = "color_convert";
+  spec.source = b.str();
+  spec.max_packets = 400'000'000;
+  spec.setup = [r, gg, bb](sim::MemoryBus& mem, const masm::Image& img) {
+    auto wr = [&](const char* sym, const std::vector<i16>& v) {
+      mem.write(img.symbol(sym),
+                {reinterpret_cast<const u8*>(v.data()), v.size() * 2});
+    };
+    wr("rp", r);
+    wr("gp", gg);
+    wr("bp", bb);
+  };
+  spec.validate = [r, gg, bb](sim::MemoryBus& mem, const masm::Image& img,
+                              std::string& msg) {
+    std::vector<i16> y, cb, cr;
+    color_convert_reference(r, gg, bb, y, cb, cr);
+    const Addr ya = img.symbol("yp");
+    const Addr cba = img.symbol("cbp");
+    const Addr cra = img.symbol("crp");
+    for (u32 i = 0; i < kCcPixels; i += 61) {  // strided full-range sample
+      const i16 gy = static_cast<i16>(mem.read_u16(ya + 2 * i));
+      const i16 gcb = static_cast<i16>(mem.read_u16(cba + 2 * i));
+      const i16 gcr = static_cast<i16>(mem.read_u16(cra + 2 * i));
+      if (gy != y[i] || gcb != cb[i] || gcr != cr[i]) {
+        msg = "pixel " + std::to_string(i) + ": got (" + std::to_string(gy) +
+              "," + std::to_string(gcb) + "," + std::to_string(gcr) +
+              "), expected (" + std::to_string(y[i]) + "," +
+              std::to_string(cb[i]) + "," + std::to_string(cr[i]) + ")";
+        return false;
+      }
+    }
+    return true;
+  };
+  return spec;
+}
+
+} // namespace majc::kernels

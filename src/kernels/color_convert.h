@@ -1,0 +1,31 @@
+// 512x512 RGB -> YCbCr color conversion (Table 1, row 6; paper: 0.9 Mcycles).
+//
+// Planar 16-bit R/G/B inputs, planar Y/Cb/Cr outputs; two pixels per
+// iteration via SIMD multiply-accumulate chains in Q7 fixed point
+// (Y = (38R + 75G + 15B) >> 7, chroma with a +128 bias), one chain per
+// compute FU, with FU0 streaming six planes through a shared index
+// register. Coefficient sums stay under 2^15/255 so the packed arithmetic
+// is overflow-free and exact.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+inline constexpr u32 kCcPixels = 512 * 512;
+
+/// Q7 coefficients (rows: Y, Cb, Cr) and the chroma bias (128 << 7).
+inline constexpr i16 kCcCoef[3][3] = {
+    {38, 75, 15}, {-22, -42, 64}, {64, -54, -10}};
+inline constexpr i16 kCcBias = 128 << 7;
+
+void color_convert_reference(const std::vector<i16>& r,
+                             const std::vector<i16>& gch,
+                             const std::vector<i16>& bch, std::vector<i16>& y,
+                             std::vector<i16>& cb, std::vector<i16>& cr);
+
+KernelSpec make_color_convert_spec(u64 seed = 1);
+
+} // namespace majc::kernels

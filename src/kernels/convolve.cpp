@@ -1,0 +1,222 @@
+#include "src/kernels/convolve.h"
+
+#include <cstring>
+
+#include "src/kernels/codegen.h"
+#include "src/kernels/dsp_data.h"
+
+namespace majc::kernels {
+namespace {
+
+// Register map:
+//  g8..g12  coefficient broadcast pairs (c<<16 | c)
+//  g20 = column-load base (points at &img[y][xc] for the next column pair)
+//  g25..g28 = row-stride offsets (1024, 2048, 3072, 4096)
+//  g29 = out ptr, g31 = row counter, g32 = row base, g33 = column counter
+//  g34/g35/g36 = rolling column-sum pairs A/B/C, g47 = next pair
+//  g37/g38 = funnel pairs m1/m2, g39/g40 = funnel temps
+//  g41..g45 = the five row words for the column pass
+//  g46 = row-pass accumulator
+constexpr u32 kRowBytes = kConvW * 2;
+
+/// Column-sum chain producing `dst` from the five loaded row words.
+void emit_colsum(AsmBuilder& b, const std::string& dst, u32 fu) {
+  std::array<std::string, 4> s;
+  auto one = [&](const std::string& op) {
+    s = {"nop", "nop", "nop", "nop"};
+    s[fu] = op;
+    b.packet({s[0], s[1], s[2], s[3]});
+  };
+  one("pmulh " + dst + ", g41, g8");
+  one("pmaddh " + dst + ", g42, g9");
+  one("pmaddh " + dst + ", g43, g10");
+  one("pmaddh " + dst + ", g44, g11");
+  one("pmaddh " + dst + ", g45, g12");
+}
+
+void emit_col_loads(AsmBuilder& b) {
+  b.line("ldwi g41, g20, 0");
+  b.line("ldw g42, g20, g25");
+  b.line("ldw g43, g20, g26");
+  b.line("ldw g44, g20, g27");
+  b.packet({"ldw g45, g20, g28", "nop", "nop", "nop"});
+  b.line("addi g20, g20, 4");
+}
+
+} // namespace
+
+void convolve5x5_reference(const std::vector<i16>& img,
+                           std::vector<i16>& out) {
+  out.assign(kConvOutW * kConvOutH, 0);
+  std::vector<i32> col(kConvW);
+  for (u32 y = 0; y < kConvOutH; ++y) {
+    for (u32 x = 0; x < kConvW; ++x) {
+      i32 v = 0;
+      for (u32 r = 0; r < 5; ++r) {
+        v += kConvCoef[r] * img[(y + r) * kConvW + x];
+      }
+      col[x] = v;
+    }
+    for (u32 x = 0; x < kConvOutW; ++x) {
+      i32 v = 0;
+      for (u32 k = 0; k < 5; ++k) v += kConvCoef[k] * col[x + k];
+      out[y * kConvOutW + x] = static_cast<i16>(v);
+    }
+  }
+}
+
+KernelSpec make_convolve_spec(u64 seed) {
+  std::vector<i16> img(kConvW * kConvH);
+  SplitMix64 rng(seed ^ 0xC0);
+  for (auto& p : img) p = static_cast<i16>(rng.next_below(256));
+
+  AsmBuilder b;
+  b.line(".data");
+  b.line("ticks: .space 8");
+  b.line("  .align 32");
+  b.label("img");
+  // +64 bytes: the last iteration's look-ahead column sums read a few
+  // halfwords past the final row (their results are discarded).
+  b.line("  .space " + imm(kConvW * kConvH * 2 + 64));
+  b.line("  .align 32");
+  b.label("outp");
+  b.line("  .space " + imm(kConvOutW * kConvOutH * 2));
+  b.line(".code");
+  // Coefficient broadcast pairs.
+  for (u32 k = 0; k < 5; ++k) {
+    const u32 c = static_cast<u16>(kConvCoef[k]);
+    b.line("sethi " + g(8 + k) + ", " + imm(c));
+    b.line("orlo " + g(8 + k) + ", " + imm(c));
+  }
+  b.line("setlo g25, 1024");
+  b.line("setlo g26, 2048");
+  b.line("setlo g27, 3072");
+  b.line("setlo g28, 4096");
+  b.line(load_addr(32, "img"));
+  b.line(load_addr(29, "outp"));
+  b.line("setlo g31, " + imm(kConvOutH));
+  b.line(tick_start());
+
+  b.label("row");
+  b.line("mov g20, g32");
+  // Row prologue: column-sum pairs for x = 0..7 into P0..P3 (g34..g37).
+  for (u32 p = 0; p < 4; ++p) {
+    emit_col_loads(b);
+    emit_colsum(b, g(34 + p), 3);
+  }
+  b.line("addi g21, g20, 4");
+  b.line("setlo g33, " + imm(kConvOutW / 4));
+
+  // Four output pixels per iteration: two row chains (FU1/FU2) consume the
+  // P0..P3 window plus three funnel pairs while FU3 runs the two next
+  // column-sum chains interleaved (so no chain ever waits on its own
+  // 2-cycle multiplier latency) and FU0 streams the ten row words.
+  b.label("inner");
+  {
+    PacketScheduler sched;
+    // Loads for the two next column pairs (bases g20/g21, stride offsets).
+    const char* off[5] = {"0", "g25", "g26", "g27", "g28"};
+    u32 l1[5], l2[5];
+    for (u32 r = 0; r < 5; ++r) {
+      l1[r] = sched.place(r == 0 ? std::string("ldwi g41, g20, 0")
+                                 : std::string("ldw g4") + std::to_string(1 + r) +
+                                       ", g20, " + off[r],
+                          0, 2 * r);
+    }
+    for (u32 r = 0; r < 5; ++r) {
+      l2[r] = sched.place(r == 0 ? std::string("ldwi g50, g21, 0")
+                                 : std::string("ldw g5") + std::to_string(r) +
+                                       ", g21, " + off[r],
+                          0, 2 * r + 1);
+    }
+    // Funnels f01/f12/f23 (operands are last iteration's P regs: ready).
+    sched.place("srli g38, g34, 16", 1, 0);
+    sched.place("slli g22, g35, 16", 2, 0);
+    sched.place("srli g39, g35, 16", 1, 1);
+    sched.place("slli g23, g36, 16", 2, 1);
+    sched.place("srli g40, g36, 16", 1, 2);
+    sched.place("slli g24, g37, 16", 2, 2);
+    u32 f01 = sched.place("or g38, g38, g22", 1, 3);
+    u32 f12 = sched.place("or g39, g39, g23", 2, 3);
+    u32 f23 = sched.place("or g40, g40, g24", 1, 4);
+    // Row chain 1 (FU1): out(x, x+1) over P0 f01 P1 f12 P2.
+    u32 p1 = sched.place("pmulh g46, g34, g8", 1, 0);
+    p1 = sched.place("pmaddh g46, g38, g9", 1, std::max(p1 + 2, f01 + 2));
+    p1 = sched.place("pmaddh g46, g35, g10", 1, p1 + 2);
+    p1 = sched.place("pmaddh g46, g39, g11", 1, std::max(p1 + 2, f12 + 4));
+    p1 = sched.place("pmaddh g46, g36, g12", 1, p1 + 2);
+    // Row chain 2 (FU2): out(x+2, x+3) over P1 f12 P2 f23 P3.
+    u32 p2 = sched.place("pmulh g47, g35, g8", 2, 0);
+    p2 = sched.place("pmaddh g47, g39, g9", 2, std::max(p2 + 2, f12 + 2));
+    p2 = sched.place("pmaddh g47, g36, g10", 2, p2 + 2);
+    p2 = sched.place("pmaddh g47, g40, g11", 2, std::max(p2 + 2, f23 + 4));
+    p2 = sched.place("pmaddh g47, g37, g12", 2, p2 + 2);
+    // Two interleaved column-sum chains on FU3.
+    u32 c1 = sched.place("pmulh g48, g41, g8", 3, l1[0] + 2);
+    u32 c2 = sched.place("pmulh g49, g50, g8", 3, l2[0] + 2);
+    for (u32 r = 1; r < 5; ++r) {
+      c1 = sched.place("pmaddh g48, g4" + std::to_string(1 + r) + ", " +
+                           g(8 + r),
+                       3, std::max(c1 + 2, l1[r] + 2));
+      c2 = sched.place("pmaddh g49, g5" + std::to_string(r) + ", " + g(8 + r),
+                       3, std::max(c2 + 2, l2[r] + 2));
+    }
+    // Stores and the window rotation (parallel-read packet).
+    const u32 s1p = sched.place("stwi g46, g29, 0", 0, p1 + 4);
+    const u32 s2p = sched.place("stwi g47, g29, 4", 0, p2 + 4);
+    const u32 rot = std::max({s1p, s2p, c1 + 2, c2 + 2});
+    sched.place("mov g34, g36", 1, rot);
+    sched.place("mov g35, g37", 2, rot);
+    sched.place("mov g36, g48", 3, rot);
+    sched.place("mov g37, g49", 1, rot + 1);
+    sched.place("addi g20, g20, 8", 0, std::max(l1[4], l2[4]) + 1);
+    sched.place("addi g21, g21, 8", 0, std::max(l1[4], l2[4]) + 2);
+    sched.place("addi g29, g29, 8", 0, std::max(s1p, s2p) + 1);
+    sched.place("addi g33, g33, -1", 2, rot + 1);
+    sched.emit(b);
+  }
+  b.line("bnz g33, inner");
+  // Next row.
+  b.packet({"addi g31, g31, -1", "add g32, g32, g25"});
+  b.line("bnz g31, row");
+  b.line(tick_stop());
+  b.line("halt");
+
+  KernelSpec spec;
+  spec.name = "convolve5x5";
+  spec.source = b.str();
+  spec.max_packets = 400'000'000;
+  spec.setup = [img](sim::MemoryBus& mem, const masm::Image& imgf) {
+    mem.write(imgf.symbol("img"),
+              {reinterpret_cast<const u8*>(img.data()), img.size() * 2});
+  };
+  spec.validate = [img](sim::MemoryBus& mem, const masm::Image& imgf,
+                        std::string& msg) {
+    std::vector<i16> expect;
+    convolve5x5_reference(img, expect);
+    const Addr oa = imgf.symbol("outp");
+    // Spot-check a deterministic sample plus full first/last rows (a full
+    // 258k-element readback is wasteful; rows + strided samples cover
+    // every code path: boundaries, funnel phases, rotation).
+    auto check = [&](u32 idx) {
+      const i16 got = static_cast<i16>(mem.read_u16(oa + 2 * idx));
+      if (got != expect[idx]) {
+        msg = "out[" + std::to_string(idx) + "] = " + std::to_string(got) +
+              ", expected " + std::to_string(expect[idx]);
+        return false;
+      }
+      return true;
+    };
+    for (u32 x = 0; x < kConvOutW; ++x) {
+      if (!check(x)) return false;
+      if (!check((kConvOutH - 1) * kConvOutW + x)) return false;
+    }
+    for (u32 idx = 0; idx < kConvOutW * kConvOutH; idx += 97) {
+      if (!check(idx)) return false;
+    }
+    return true;
+  };
+  return spec;
+}
+
+} // namespace majc::kernels

@@ -1,0 +1,29 @@
+// 5x5 convolution over a 512x512 image (Table 1, row 5; paper: 1.65 Mcycles).
+//
+// The kernel is the separable binomial-like filter {1,2,3,2,1} x {1,2,3,2,1}
+// on int16 pixels, evaluated as a column pass fused into the row pass: each
+// iteration produces two output pixels with SIMD multiply-accumulates
+// (PMADDH) on packed pixel pairs, computes the next column-sum pair one
+// iteration ahead (software pipelining), and aligns odd-phase pairs with
+// funnel shifts. Coefficients ride in broadcast registers; ranges are
+// proven overflow-free so wrap arithmetic is exact.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+inline constexpr u32 kConvW = 512;
+inline constexpr u32 kConvH = 512;
+inline constexpr u32 kConvOutW = kConvW - 4;  // 508
+inline constexpr u32 kConvOutH = kConvH - 4;
+inline constexpr i16 kConvCoef[5] = {1, 2, 3, 2, 1};
+
+/// Golden separable convolution (exact integer).
+void convolve5x5_reference(const std::vector<i16>& img, std::vector<i16>& out);
+
+KernelSpec make_convolve_spec(u64 seed = 1);
+
+} // namespace majc::kernels

@@ -1,0 +1,148 @@
+#include "src/kernels/dct_common.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace majc::kernels {
+namespace {
+
+std::array<i16, 64> scaled_matrix(bool forward) {
+  std::array<i16, 64> m{};
+  for (u32 a = 0; a < 8; ++a) {
+    for (u32 b = 0; b < 8; ++b) {
+      // C[u][j] = c(u)/2 * cos((2j+1) u pi / 16); IDCT matrix is C^T.
+      const u32 u = forward ? a : b;
+      const u32 j = forward ? b : a;
+      const double cu = (u == 0) ? 1.0 / std::sqrt(2.0) : 1.0;
+      const double v = 0.5 * cu *
+                       std::cos((2.0 * j + 1.0) * u * std::numbers::pi / 16.0);
+      m[a * 8 + b] = static_cast<i16>(std::lround(v * (1 << kDctShift)));
+    }
+  }
+  return m;
+}
+
+/// Data-buffer register for pair-word t of the FU's active buffer.
+/// LDL places the lower-addressed word in the odd register, hence t^1.
+u32 data_reg(u32 fu, u32 buf, u32 t) {
+  return 8 + 8 * (fu - 1) + 4 * buf + (t ^ 1);
+}
+
+} // namespace
+
+std::array<i16, 64> idct_matrix() { return scaled_matrix(false); }
+std::array<i16, 64> fdct_matrix() { return scaled_matrix(true); }
+
+void dct_pass_reference(const std::array<i16, 64>& m, const i16* in,
+                        i16* out) {
+  for (u32 r = 0; r < 8; ++r) {
+    for (u32 u = 0; u < 8; ++u) {
+      u32 acc = 1u << (kDctShift - 1);
+      for (u32 j = 0; j < 8; ++j) {
+        acc += static_cast<u32>(static_cast<i32>(m[u * 8 + j]) *
+                                static_cast<i32>(in[r * 8 + j]));
+      }
+      out[u * 8 + r] = static_cast<i16>(static_cast<i32>(acc) >> kDctShift);
+    }
+  }
+}
+
+void emit_matrix_preload(AsmBuilder& b, const std::string& msym) {
+  b.line(load_addr(3, msym));
+  for (u32 grp = 0; grp < 4; ++grp) {
+    b.line("ldgi g64, g3, " + imm(32 * grp));
+    for (u32 i = 0; i < 8; ++i) {
+      const std::string mv = "mov " + l(8 * grp + i) + ", " + g(64 + i);
+      b.packet({"nop", mv, mv, mv});
+    }
+  }
+}
+
+void emit_dct_pass(AsmBuilder& b, bool quantize) {
+  const u32 ops = quantize ? 16 : 12;   // ops per output pair
+  const u32 wave_ops = 4 * ops;         // 4 output pairs per row
+  // Rows per FU per wave: FU f handles row 3w + f - 1 (absent when >= 8).
+  auto row_of = [](u32 wave, u32 fu) -> int {
+    const u32 r = 3 * wave + fu - 1;
+    return r < 8 ? static_cast<int>(r) : -1;
+  };
+
+  const u32 total = 3 * wave_ops + 12;
+  std::vector<std::array<std::string, 4>> sched(total);
+  auto put = [&](u32 pkt, u32 slot, const std::string& op) {
+    sched[pkt][slot] = op;
+  };
+
+  // Prologue loads for wave 0 happen before this schedule (emitted below);
+  // waves 1/2 load during the previous wave at local ops 20..25.
+  for (u32 w = 0; w < 3; ++w) {
+    for (u32 fu = 1; fu <= 3; ++fu) {
+      const int row = row_of(w, fu);
+      if (row < 0) continue;
+      const u32 buf = w % 2;
+      const u32 base = w * wave_ops;
+      const u32 accA = 50 + 4 * (fu - 1);
+      const u32 accB = accA + 1;
+      const u32 resA = accA + 2;
+      const u32 resB = accA + 3;
+      for (u32 p = 0; p < 4; ++p) {  // output pair (u = 2p, 2p+1)
+        const u32 k = base + ops * p;
+        put(k + 0, fu, "mov " + g(accA) + ", g49");
+        put(k + 1, fu, "mov " + g(accB) + ", g49");
+        for (u32 t = 0; t < 4; ++t) {
+          put(k + 2 + 2 * t, fu,
+              "dotp " + g(accA) + ", " + g(data_reg(fu, buf, t)) + ", " +
+                  l((2 * p) * 4 + t));
+          put(k + 3 + 2 * t, fu,
+              "dotp " + g(accB) + ", " + g(data_reg(fu, buf, t)) + ", " +
+                  l((2 * p + 1) * 4 + t));
+        }
+        put(k + 10, fu, "srai " + g(resA) + ", " + g(accA) + ", " + imm(kDctShift));
+        put(k + 11, fu, "srai " + g(resB) + ", " + g(accB) + ", " + imm(kDctShift));
+        const u32 offA = ((2 * p) * 8 + static_cast<u32>(row)) * 2;
+        const u32 offB = ((2 * p + 1) * 8 + static_cast<u32>(row)) * 2;
+        if (quantize) {
+          // Uniform quantizer: one reciprocal constant in g45.
+          put(k + 12, fu, "mul " + g(resA) + ", " + g(resA) + ", g45");
+          put(k + 13, fu, "mul " + g(resB) + ", " + g(resB) + ", g45");
+          put(k + 14, fu, "srai " + g(resA) + ", " + g(resA) + ", 15");
+          put(k + 15, fu, "srai " + g(resB) + ", " + g(resB) + ", 15");
+        }
+        // Transposed stores; the result crosses to FU0 via write-back.
+        // FU0 slots are staggered per FU (6 stores per output-pair window).
+        put(k + ops + 2 + 2 * (fu - 1), 0,
+            "sthi " + g(resA) + ", g5, " + imm(offA));
+        put(k + ops + 3 + 2 * (fu - 1), 0,
+            "sthi " + g(resB) + ", g5, " + imm(offB));
+      }
+      // Loads for the next wave's row on this FU (FU0 slots chosen clear of
+      // the store windows for each variant).
+      const int next_row = row_of(w + 1, fu);
+      if (next_row >= 0) {
+        const u32 nbuf = (w + 1) % 2;
+        const u32 lk = base + (quantize ? 40 : 20) + 2 * (fu - 1);
+        put(lk, 0, "ldli " + g(8 + 8 * (fu - 1) + 4 * nbuf) + ", g4, " +
+                       imm(16 * static_cast<u32>(next_row)));
+        put(lk + 1, 0, "ldli " + g(8 + 8 * (fu - 1) + 4 * nbuf + 2) + ", g4, " +
+                           imm(16 * static_cast<u32>(next_row) + 8));
+      }
+    }
+  }
+
+  // Wave-0 prologue loads.
+  for (u32 fu = 1; fu <= 3; ++fu) {
+    const int row = row_of(0, fu);
+    if (row < 0) continue;
+    b.line("ldli " + g(8 + 8 * (fu - 1)) + ", g4, " +
+           imm(16 * static_cast<u32>(row)));
+    b.line("ldli " + g(8 + 8 * (fu - 1) + 2) + ", g4, " +
+           imm(16 * static_cast<u32>(row) + 8));
+  }
+  for (const auto& s : sched) {
+    if (s[0].empty() && s[1].empty() && s[2].empty() && s[3].empty()) continue;
+    b.packet({s[0].empty() ? "nop" : s[0], s[1].empty() ? "nop" : s[1],
+              s[2].empty() ? "nop" : s[2], s[3].empty() ? "nop" : s[3]});
+  }
+}
+
+} // namespace majc::kernels

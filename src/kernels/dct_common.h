@@ -1,0 +1,48 @@
+// Shared machinery for the 8x8 DCT/IDCT kernels (Table 1, rows 1-2).
+//
+// Both transforms run as two 1-D passes of a fixed-point 8x8 matrix product
+// evaluated with the SIMD dot-product instruction: each output element is
+// four DOTPs over (coefficient-pair, data-pair) words. The 32-word
+// coefficient matrix lives in each compute FU's local registers (one of the
+// places MAJC's 224-register file pays off), rows rotate across FU1..FU3,
+// and the row pass stores its outputs transposed with static offsets so the
+// column pass reads contiguous words.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/kernels/codegen.h"
+#include "src/kernels/kernel.h"
+#include "src/support/types.h"
+
+namespace majc::kernels {
+
+/// Fixed-point scale for transform matrices: M = round(C * 2^kDctShift).
+inline constexpr int kDctShift = 11;
+
+/// 8x8 matrix as 32 packed int16-pair words, word t of row u packing
+/// elements (2t, 2t+1). `pair_swap` mirrors LDL's word order so data loaded
+/// with pair loads lines up (the generator indexes data regs the same way).
+std::array<i16, 64> idct_matrix();
+std::array<i16, 64> fdct_matrix();
+
+/// Golden 1-D pass: out[u] = i16((round + sum_j M[u][j]*in[j]) >> kDctShift)
+/// with 32-bit wrap accumulation in DOTP order.
+void dct_pass_reference(const std::array<i16, 64>& m, const i16* in,
+                        i16* out);
+
+/// Emit one full 1-D pass over 8 rows: reads int16 rows at [g4 + row*16],
+/// writes int16 outputs transposed to [g5 + (u*8+row)*2]. Requires the
+/// matrix in every FU's locals (l0..l31), the rounding constant in g49.
+/// Uses g8..g31 as input buffers and g50..g61 as accumulators.
+/// `quant_recips` non-null adds the quantization step of the DCT kernel:
+/// out = i16((pass_out * recip[u][row... (column-major index)]) >> 15)
+/// with recips streamed by FU0 from [g44].
+void emit_dct_pass(AsmBuilder& b, bool quantize);
+
+/// Emit the prologue that loads the 32 matrix words into all three compute
+/// FUs' locals from symbol `msym` (clobbers g64..g71, g3).
+void emit_matrix_preload(AsmBuilder& b, const std::string& msym);
+
+} // namespace majc::kernels

@@ -1,0 +1,83 @@
+#include "src/kernels/dct_quant.h"
+
+#include <array>
+
+#include "src/kernels/dct_common.h"
+#include "src/kernels/dsp_data.h"
+
+namespace majc::kernels {
+
+void dct_quant_reference(const i16* in, i16* out) {
+  const auto m = fdct_matrix();
+  std::array<i16, 64> tmp, dct;
+  dct_pass_reference(m, in, tmp.data());
+  dct_pass_reference(m, tmp.data(), dct.data());
+  for (u32 i = 0; i < 64; ++i) {
+    out[i] = static_cast<i16>(
+        (static_cast<i32>(dct[i]) * static_cast<i32>(kQuantRecip)) >> 15);
+  }
+}
+
+KernelSpec make_dct_quant_spec(u64 seed) {
+  std::vector<i16> pixels(64);
+  SplitMix64 rng(seed ^ 0xDC7);
+  for (auto& p : pixels) p = static_cast<i16>(rng.next_range(-256, 255));
+  const auto m = fdct_matrix();
+
+  AsmBuilder b;
+  b.line(".data");
+  b.line("ticks: .space 8");
+  b.line("  .align 8");
+  b.label("marr");
+  b.line(half_data({m.begin(), m.end()}));
+  b.line("  .align 8");
+  b.label("blk");
+  b.line(half_data(pixels));
+  b.line("  .align 8");
+  b.label("tmp");
+  b.line("  .space 128");
+  b.line("  .align 8");
+  b.label("outp");
+  b.line("  .space 128");
+  b.line(".code");
+  emit_matrix_preload(b, "marr");
+  b.line("setlo g49, " + imm(1 << (kDctShift - 1)));
+  b.line("setlo g45, " + imm(kQuantRecip));
+  b.line(load_addr(40, "blk"));
+  b.line(load_addr(41, "tmp"));
+  b.line(load_addr(42, "outp"));
+  b.line(load_addr(90, "ticks"));
+  b.line("setlo g46, 3");
+  b.label("block");
+  b.line("gettick g91");
+  b.line("stwi g91, g90, 0");
+  b.line("mov g4, g40 | mov g5, g41 | addi g46, g46, -1");
+  emit_dct_pass(b, /*quantize=*/false);  // row pass: no quantization yet
+  b.line("mov g4, g41 | mov g5, g42");
+  emit_dct_pass(b, /*quantize=*/true);   // column pass folds the quantizer
+  b.line("bnz g46, block");
+  b.line(tick_stop());
+  b.line("halt");
+
+  KernelSpec spec;
+  spec.name = "dct_quant8x8";
+  spec.source = b.str();
+  spec.validate = [pixels](sim::MemoryBus& mem, const masm::Image& img,
+                           std::string& msg) {
+    std::array<i16, 64> expect;
+    dct_quant_reference(pixels.data(), expect.data());
+    const Addr oa = img.symbol("outp");
+    for (u32 i = 0; i < 64; ++i) {
+      const i16 got = static_cast<i16>(mem.read_u16(oa + 2 * i));
+      if (got != expect[i]) {
+        msg = "out[" + std::to_string(i) + "] = " + std::to_string(got) +
+              ", expected " + std::to_string(expect[i]);
+        return false;
+      }
+    }
+    return true;
+  };
+  return spec;
+}
+
+} // namespace majc::kernels

@@ -1,0 +1,18 @@
+// 8x8 forward DCT + quantization (Table 1, row 2): the encoder-side
+// counterpart of the IDCT kernel with a uniform quantizer folded into the
+// column pass (out = (dct * recip) >> 15).
+#pragma once
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+/// Reciprocal of the uniform quantizer step in Q15 (32768 / qstep).
+inline constexpr i16 kQuantRecip = 32768 / 16;
+
+KernelSpec make_dct_quant_spec(u64 seed = 1);
+
+/// Golden 2-D fixed-point DCT + quantization matching the kernel.
+void dct_quant_reference(const i16* in, i16* out);
+
+} // namespace majc::kernels

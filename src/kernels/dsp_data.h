@@ -1,0 +1,78 @@
+// Shared helpers for DSP kernel generators: deterministic stimulus and
+// exact float literal emission for .data sections.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/support/types.h"
+
+namespace majc::kernels {
+
+/// Render a float with enough digits to round-trip exactly through the
+/// assembler (which parses doubles and narrows).
+inline std::string flit(float v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(v));
+  std::string s(buf);
+  // Ensure it lexes as a float literal even for integral values.
+  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+  return s;
+}
+
+/// Uniform floats in [lo, hi].
+inline std::vector<float> random_floats(std::size_t n, u64 seed, double lo,
+                                        double hi) {
+  std::vector<float> v(n);
+  SplitMix64 rng(seed);
+  for (auto& x : v) x = static_cast<float>(rng.next_double(lo, hi));
+  return v;
+}
+
+/// Emit a .float directive list (16 values per line for readability).
+inline std::string float_data(const std::vector<float>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out += (i % 16 == 0) ? "  .float " : ", ";
+    out += flit(v[i]);
+    if (i % 16 == 15 || i + 1 == v.size()) out += "\n";
+  }
+  return out;
+}
+
+/// Emit a .half directive list.
+inline std::string half_data(const std::vector<i16>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out += (i % 16 == 0) ? "  .half " : ", ";
+    out += std::to_string(v[i]);
+    if (i % 16 == 15 || i + 1 == v.size()) out += "\n";
+  }
+  return out;
+}
+
+/// Emit a .word directive list.
+inline std::string word_data(const std::vector<u32>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out += (i % 12 == 0) ? "  .word " : ", ";
+    out += std::to_string(v[i]);
+    if (i % 12 == 11 || i + 1 == v.size()) out += "\n";
+  }
+  return out;
+}
+
+/// Emit a .byte directive list.
+inline std::string byte_data(const std::vector<u8>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out += (i % 24 == 0) ? "  .byte " : ", ";
+    out += std::to_string(v[i]);
+    if (i % 24 == 23 || i + 1 == v.size()) out += "\n";
+  }
+  return out;
+}
+
+} // namespace majc::kernels

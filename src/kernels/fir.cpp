@@ -1,0 +1,194 @@
+#include "src/kernels/fir.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/kernels/codegen.h"
+#include "src/kernels/dsp_data.h"
+
+namespace majc::kernels {
+namespace {
+
+constexpr u32 kTapsPadded = 66;   // multiple of 3 for the FU rotation
+constexpr u32 kBlockOutputs = 4;  // outputs computed concurrently
+constexpr u32 kXLen = kFirOutputs + kTapsPadded + 14;  // + lookahead padding
+
+// Register map (globals):
+//   g3 = &h, g4 = xptr (block base), g5 = xptr + 248 (far-offset base),
+//   g6 = yptr, g7 = block counter, g86 = preload scratch,
+//   g8..g73   h[0..65] resident coefficients,
+//   g74..g85  x rolling buffer (index mod 12) / reduction partials,
+//   g90/g91   tick scratch.
+// Locals (each of FU1..FU3): l0..l3 = accumulators for outputs 0..3.
+
+// LDL places the higher-addressed word in the odd register (the pair's even
+// register holds the 64-bit value's most significant word and memory is
+// little-endian), so element i of the float array lands in buffer slot
+// (i mod 12) ^ 1.
+std::string x_reg(u32 rel) { return g(74 + ((rel % 12) ^ 1)); }
+std::string x_pair_base(u32 rel) { return g(74 + rel % 12); }
+
+/// FU0 slot schedule inside one 8-packet mega-block: pair loads for
+/// x[kk+12+m], (m, m+1) issued at packets 1, 4 and 6.
+std::string mega_block_fu0(u32 pkt, u32 kk) {
+  if (pkt != 1 && pkt != 4 && pkt != 6) return "nop";
+  const u32 m = pkt == 1 ? 0 : pkt == 4 ? 2 : 4;
+  const u32 idx = kk + 12 + m;
+  const u32 off = 4 * idx;
+  // imm9 caps at 255; far offsets go through g5 = xptr + 248.
+  if (off <= 248) {
+    return "ldli " + x_pair_base(idx) + ", g4, " + imm(off);
+  }
+  return "ldli " + x_pair_base(idx) + ", g5, " + imm(off - 248);
+}
+
+std::string generate_fir_asm(const std::vector<float>& h,
+                             const std::vector<float>& x) {
+  AsmBuilder b;
+  b.line(".data");
+  b.line("ticks: .space 8");
+  b.line("  .align 8");
+  b.label("harr");
+  std::vector<float> hp = h;
+  hp.resize(72, 0.0f);  // pad to 9 group loads
+  b.line(float_data(hp));
+  b.line("  .align 8");
+  b.label("xarr");
+  b.line(float_data(x));
+  b.line("  .align 8");
+  b.label("yarr");
+  b.line("  .space " + imm(kFirOutputs * 4));
+  b.line(".code");
+
+  // Address setup.
+  b.line(load_addr(3, "harr"));
+  b.line(load_addr(4, "xarr"));
+  b.line(load_addr(6, "yarr"));
+
+  // Preload the 66 coefficients (+ padding) into g8..g79 with group loads.
+  for (u32 grp = 0; grp < 9; ++grp) {
+    const u32 off = grp * 32;
+    if (off <= 255) {
+      b.line("ldgi g" + std::to_string(8 + grp * 8) + ", g3, " + imm(off));
+    } else {
+      b.line("setlo g86, " + imm(off));
+      b.line("ldg g" + std::to_string(8 + grp * 8) + ", g3, g86");
+    }
+  }
+
+  // Clear the 12 accumulators.
+  for (u32 j = 0; j < kBlockOutputs; ++j) {
+    b.packet({"nop", "mov " + l(j) + ", g0", "mov " + l(j) + ", g0",
+              "mov " + l(j) + ", g0"});
+  }
+  b.line(load_addr(90, "ticks"));
+  // Two passes: the first warms the I$ (the unrolled block loop is ~1.8 KB
+  // of code); the loop-top stamp makes ticks measure the steady-state pass.
+  b.line("setlo g87, 2");
+  b.label("pass");
+  b.line(load_addr(4, "xarr"));
+  b.line(load_addr(6, "yarr"));
+  b.line("setlo g7, " + imm(kFirOutputs / kBlockOutputs));
+  b.line("gettick g91");
+  b.packet({"stwi g91, g90, 0", "addi g87, g87, -1"});
+  b.label("blk");
+  b.line("addi g5, g4, 248");
+
+  // Block prologue: fill the rolling buffer with x[n .. n+11].
+  for (u32 i = 0; i < 12; i += 2) {
+    b.line("ldli " + x_pair_base(i) + ", g4, " + imm(4 * i));
+  }
+
+  // 11 mega-blocks: kk = 0, 6, ..., 60 (two tap-triples each).
+  for (u32 kk = 0; kk < kTapsPadded; kk += 6) {
+    for (u32 t = 0; t < 2; ++t) {
+      const u32 kt = kk + 3 * t;
+      for (u32 j = 0; j < kBlockOutputs; ++j) {
+        const u32 pkt = 4 * t + j;
+        std::string slots[4];
+        slots[0] = mega_block_fu0(pkt, kk);
+        for (u32 f = 1; f <= 3; ++f) {
+          const u32 k = kt + f - 1;
+          slots[f] = "fmadd " + l(j) + ", g" + std::to_string(8 + k) + ", " +
+                     x_reg(k + j);
+        }
+        b.packet({slots[0], slots[1], slots[2], slots[3]});
+      }
+    }
+  }
+
+  // Reduction: move the 12 partials to globals (x buffer regs are dead).
+  // G(f, j) = g(74 + 3j + f - 1).
+  for (u32 j = 0; j < kBlockOutputs; ++j) {
+    const u32 base = 74 + 3 * j;
+    std::string fu0 = "nop";
+    if (j == 0) fu0 = "addi g4, g4, 16";  // advance x base (4 samples)
+    if (j == 1) fu0 = "addi g7, g7, -1";  // block counter
+    b.packet({fu0, "mov " + g(base) + ", " + l(j),
+              "mov " + g(base + 1) + ", " + l(j),
+              "mov " + g(base + 2) + ", " + l(j)});
+  }
+  // Clear accumulators for the next block while the moves retire.
+  for (u32 j = 0; j < kBlockOutputs; ++j) {
+    b.packet({"nop", "mov " + l(j) + ", g0", "mov " + l(j) + ", g0",
+              "mov " + l(j) + ", g0"});
+  }
+  // y_j = (G1 + G2) + G3, interleaved across FUs to hide FP latency.
+  b.packet({"nop", "fadd g74, g74, g75", "fadd g77, g77, g78",
+            "fadd g80, g80, g81"});
+  b.packet({"nop", "fadd g83, g83, g84"});
+  b.packet({"nop", "fadd g74, g74, g76", "fadd g77, g77, g79",
+            "fadd g80, g80, g82"});
+  b.packet({"nop", "fadd g83, g83, g85"});
+  for (u32 j = 0; j < kBlockOutputs; ++j) {
+    b.line("stwi " + g(74 + 3 * j) + ", g6, " + imm(4 * j));
+  }
+  b.line("addi g6, g6, 16");
+  b.line("bnz g7, blk");
+  b.line("bnz g87, pass");
+  b.line(tick_stop());
+  b.line("halt");
+  return b.str();
+}
+
+} // namespace
+
+void fir_reference(const float* h, const float* x, float* y) {
+  for (u32 n = 0; n < kFirOutputs; ++n) {
+    float acc[3] = {0.0f, 0.0f, 0.0f};
+    for (u32 k = 0; k < kTapsPadded; ++k) {
+      const float hk = k < kFirTaps ? h[k] : 0.0f;
+      acc[k % 3] = std::fmaf(hk, x[n + k], acc[k % 3]);
+    }
+    y[n] = (acc[0] + acc[1]) + acc[2];
+  }
+}
+
+KernelSpec make_fir_spec(u64 seed) {
+  const std::vector<float> h = random_floats(kFirTaps, seed, -1.0, 1.0);
+  const std::vector<float> x = random_floats(kXLen, seed ^ 0xF1F2, -2.0, 2.0);
+
+  KernelSpec spec;
+  spec.name = "fir64x64";
+  spec.source = generate_fir_asm(h, x);
+  spec.validate = [h, x](sim::MemoryBus& mem, const masm::Image& img,
+                         std::string& msg) {
+    std::vector<float> expect(kFirOutputs);
+    fir_reference(h.data(), x.data(), expect.data());
+    const Addr y = img.symbol("yarr");
+    for (u32 n = 0; n < kFirOutputs; ++n) {
+      float got;
+      const u32 raw = mem.read_u32(y + 4 * n);
+      std::memcpy(&got, &raw, 4);
+      if (got != expect[n]) {
+        msg = "y[" + std::to_string(n) + "] = " + std::to_string(got) +
+              ", expected " + std::to_string(expect[n]);
+        return false;
+      }
+    }
+    return true;
+  };
+  return spec;
+}
+
+} // namespace majc::kernels

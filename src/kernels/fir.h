@@ -1,0 +1,27 @@
+// 64-sample, 64-tap single-precision FIR filter (Table 2, row 2).
+//
+// y[n] = sum_{k=0}^{63} h[k] * x[n+k], n = 0..63 (correlation form; the
+// paper's benchmark is the standard DSP-suite FIR and is structurally
+// identical). Schedule: four outputs computed concurrently, taps rotated
+// across FU1..FU3 (each FU owns taps k === fu-1 mod 3) with one fused
+// multiply-add accumulator per (FU, output), coefficient array resident in
+// global registers after 8-word group-load preloading, and the sample
+// window streamed through a 12-register rolling buffer by FU0 pair loads —
+// the register-blocking style the paper credits the 224-entry register
+// file for.
+#pragma once
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+inline constexpr u32 kFirTaps = 64;
+inline constexpr u32 kFirOutputs = 64;
+
+/// Build the FIR kernel (assembly + golden validation) for `seed`.
+KernelSpec make_fir_spec(u64 seed = 1);
+
+/// Golden model with the exact accumulation association of the kernel.
+void fir_reference(const float* h, const float* x, float* y);
+
+} // namespace majc::kernels

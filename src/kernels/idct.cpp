@@ -1,0 +1,95 @@
+#include "src/kernels/idct.h"
+
+#include <array>
+
+#include "src/kernels/dct_common.h"
+#include "src/kernels/dsp_data.h"
+
+namespace majc::kernels {
+namespace {
+
+std::vector<i16> random_coeffs(u64 seed) {
+  // Dequantized DCT coefficients: mostly small with a dominant DC term,
+  // bounded so all fixed-point intermediate ranges hold (|x| < 1024).
+  std::vector<i16> c(64);
+  SplitMix64 rng(seed ^ 0x1DC7);
+  c[0] = static_cast<i16>(rng.next_range(-1000, 1000));
+  for (u32 i = 1; i < 64; ++i) {
+    c[i] = static_cast<i16>(rng.next_range(-200, 200));
+  }
+  return c;
+}
+
+} // namespace
+
+void idct8x8_reference(const i16* in, i16* out) {
+  const auto m = idct_matrix();
+  std::array<i16, 64> tmp;
+  dct_pass_reference(m, in, tmp.data());
+  dct_pass_reference(m, tmp.data(), out);
+}
+
+KernelSpec make_idct_spec(u64 seed) {
+  const auto coeffs = random_coeffs(seed);
+  const auto m = idct_matrix();
+
+  AsmBuilder b;
+  b.line(".data");
+  b.line("ticks: .space 8");
+  b.line("  .align 8");
+  b.label("marr");
+  b.line(half_data({m.begin(), m.end()}));
+  b.line("  .align 8");
+  b.label("blk");
+  b.line(half_data(coeffs));
+  b.line("  .align 8");
+  b.label("tmp");
+  b.line("  .space 128");
+  b.line("  .align 8");
+  b.label("outp");
+  b.line("  .space 128");
+  b.line(".code");
+  emit_matrix_preload(b, "marr");
+  b.line("setlo g49, " + imm(1 << (kDctShift - 1)));  // rounding constant
+  b.line(load_addr(40, "blk"));
+  b.line(load_addr(41, "tmp"));
+  b.line(load_addr(42, "outp"));
+  b.line(load_addr(90, "ticks"));
+  // Three passes over the same block: the third is the measured,
+  // cache-warm transform (the paper's per-block steady-state figure).
+  b.line("setlo g46, 3");
+  b.label("block");
+  b.line("gettick g91");
+  b.line("stwi g91, g90, 0");
+  // Row pass: blk -> tmp (transposed).
+  b.line("mov g4, g40 | mov g5, g41 | addi g46, g46, -1");
+  emit_dct_pass(b, /*quantize=*/false);
+  // Column pass: tmp -> outp (transposed back to natural order).
+  b.line("mov g4, g41 | mov g5, g42");
+  emit_dct_pass(b, /*quantize=*/false);
+  b.line("bnz g46, block");
+  b.line(tick_stop());
+  b.line("halt");
+
+  KernelSpec spec;
+  spec.name = "idct8x8";
+  spec.source = b.str();
+  spec.validate = [coeffs](sim::MemoryBus& mem, const masm::Image& img,
+                           std::string& msg) {
+    std::array<i16, 64> expect;
+    idct8x8_reference(coeffs.data(), expect.data());
+    const Addr oa = img.symbol("outp");
+    for (u32 i = 0; i < 64; ++i) {
+      const i16 got = static_cast<i16>(mem.read_u16(oa + 2 * i));
+      if (got != expect[i]) {
+        msg = "out[" + std::to_string(i) + "] = " + std::to_string(got) +
+              ", expected " + std::to_string(expect[i]);
+        return false;
+      }
+    }
+    return true;
+  };
+  return spec;
+}
+
+} // namespace majc::kernels

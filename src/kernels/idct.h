@@ -1,0 +1,14 @@
+// 8x8 inverse DCT (Table 1, row 1): fixed-point two-pass matrix transform
+// evaluated with SIMD dot products. Measured steady-state per block.
+#pragma once
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+KernelSpec make_idct_spec(u64 seed = 1);
+
+/// Golden 2-D fixed-point IDCT matching the kernel bit-for-bit.
+void idct8x8_reference(const i16* in, i16* out);
+
+} // namespace majc::kernels

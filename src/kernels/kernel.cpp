@@ -1,0 +1,80 @@
+#include "src/kernels/kernel.h"
+
+#include "src/sim/functional_sim.h"
+
+namespace majc::kernels {
+namespace {
+
+void fill_common(KernelRun& run, const masm::Image& img, sim::MemoryBus& mem,
+                 const KernelSpec& spec) {
+  if (auto it = img.symbols.find("ticks"); it != img.symbols.end()) {
+    const u32 t0 = mem.read_u32(it->second);
+    const u32 t1 = mem.read_u32(it->second + 4);
+    run.kernel_cycles = t1 - t0;
+  } else {
+    run.kernel_cycles = run.total_cycles;
+  }
+  if (spec.validate) {
+    run.valid = spec.validate(mem, img, run.message);
+  } else {
+    run.valid = true;
+  }
+}
+
+} // namespace
+
+KernelRun run_kernel(const KernelSpec& spec, const TimingConfig& cfg) {
+  masm::Image img = masm::assemble_or_throw(spec.source);
+  cpu::CycleSim sim(std::move(img), cfg);
+  if (spec.setup) spec.setup(sim.memory(), sim.program().image());
+  const auto res = sim.run(spec.max_packets);
+
+  KernelRun run;
+  run.total_cycles = res.cycles;
+  run.packets = res.packets;
+  run.instrs = res.instrs;
+  run.halted = res.halted;
+  run.ipc = res.ipc();
+  run.cpu_stats = sim.cpu().stats();
+  fill_common(run, sim.program().image(), sim.memory(), spec);
+  if (!res.halted) {
+    run.valid = false;
+    run.message = "kernel did not halt within packet budget";
+  }
+  return run;
+}
+
+KernelRun run_kernel_functional(const KernelSpec& spec) {
+  masm::Image img = masm::assemble_or_throw(spec.source);
+  sim::FunctionalSim sim(std::move(img));
+  if (spec.setup) spec.setup(sim.memory(), sim.program().image());
+  const auto res = sim.run(spec.max_packets);
+
+  KernelRun run;
+  run.total_cycles = res.packets;  // packet count stands in for time
+  run.packets = res.packets;
+  run.instrs = res.instrs;
+  run.halted = res.halted;
+  fill_common(run, sim.program().image(), sim.memory(), spec);
+  if (!res.halted) {
+    run.valid = false;
+    run.message = "kernel did not halt within packet budget";
+  }
+  return run;
+}
+
+std::string load_addr(u32 greg, const std::string& sym) {
+  const std::string r = "g" + std::to_string(greg);
+  return "sethi " + r + ", %hi(" + sym + ")\norlo " + r + ", %lo(" + sym +
+         ")\n";
+}
+
+std::string tick_start() {
+  return load_addr(90, "ticks") + "gettick g91\nstwi g91, g90, 0\n";
+}
+
+std::string tick_stop() {
+  return "gettick g91\nstwi g91, g90, 4\n";
+}
+
+} // namespace majc::kernels

@@ -1,0 +1,59 @@
+// Kernel harness: assemble, run on the cycle-accurate simulator, time the
+// instrumented region, and validate results against a golden C++ model.
+//
+// Every Table 1 / Table 2 kernel follows the same convention the paper's
+// own methodology implies (single MAJC CPU, cycle-accurate simulator):
+//  * the program declares `ticks: .space 8` and brackets the measured
+//    region with GETTICK stores to ticks+0 / ticks+4;
+//  * inputs are either embedded via .data or written by `setup` into
+//    .space regions located by symbol;
+//  * `validate` re-reads memory and compares with the golden model.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "src/cpu/cycle_cpu.h"
+#include "src/masm/assembler.h"
+
+namespace majc::kernels {
+
+struct KernelSpec {
+  std::string name;
+  std::string source;
+  /// Write input data into memory before the run (optional).
+  std::function<void(sim::MemoryBus&, const masm::Image&)> setup;
+  /// Check outputs; fill `message` on mismatch (optional).
+  std::function<bool(sim::MemoryBus&, const masm::Image&, std::string&)>
+      validate;
+  u64 max_packets = 200'000'000;
+};
+
+struct KernelRun {
+  Cycle kernel_cycles = 0;  // ticks[1]-ticks[0] if instrumented, else total
+  Cycle total_cycles = 0;
+  u64 packets = 0;
+  u64 instrs = 0;
+  bool valid = false;
+  bool halted = false;
+  std::string message;
+  cpu::CpuStats cpu_stats;
+  double ipc = 0.0;
+};
+
+/// Assemble and run `spec` on a single cycle-accurate CPU.
+KernelRun run_kernel(const KernelSpec& spec, const TimingConfig& cfg = {});
+
+/// Run on the instruction-accurate simulator only (fast path for pure
+/// correctness tests).
+KernelRun run_kernel_functional(const KernelSpec& spec);
+
+// ---- shared helpers for kernel sources ----
+
+/// Standard prologue/epilogue fragments: materialize `sym` into gN.
+std::string load_addr(u32 greg, const std::string& sym);
+/// GETTICK capture into ticks+{0,4} using g90/g91 as scratch.
+std::string tick_start();
+std::string tick_stop();
+
+} // namespace majc::kernels

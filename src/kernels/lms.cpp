@@ -1,0 +1,180 @@
+#include "src/kernels/lms.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/kernels/codegen.h"
+#include "src/kernels/dsp_data.h"
+
+namespace majc::kernels {
+namespace {
+
+constexpr u32 kSteps = 3;  // two warmup passes + one measured pass
+
+// Register map:
+//   g8..g23  weights w[0..15]
+//   g24..g39 window: g(24+k) = x[n-k]
+//   g40 = d ptr, g41 = x ptr, g42 = mu, g43 = d sample, g44 = y, g45 = e,
+//   g46..g51 = reduction staging, g7 = step counter, g4 = out ptr,
+//   g90/g91 = ticks.
+// Locals per FU: l0/l1 = alternating dot-product accumulators.
+
+std::string w(u32 k) { return g(8 + k); }
+std::string win(u32 k) { return g(24 + k); }
+
+} // namespace
+
+void lms_reference(LmsState& st, const float* x, const float* d, float mu,
+                   u32 n) {
+  for (u32 i = 0; i < n; ++i) {
+    // Slide the window (parallel-read semantics: all reads before writes).
+    for (u32 k = kLmsTaps - 1; k >= 1; --k) st.window[k] = st.window[k - 1];
+    st.window[0] = x[i];
+    // Dot product with the kernel's accumulator structure: tap k goes to
+    // FU (k%3), alternating between that FU's two accumulators.
+    float acc[3][2] = {};
+    u32 cnt[3] = {};
+    for (u32 k = 0; k < kLmsTaps; ++k) {
+      const u32 f = k % 3;
+      acc[f][cnt[f] % 2] = std::fmaf(st.w[k], st.window[k], acc[f][cnt[f] % 2]);
+      ++cnt[f];
+    }
+    const float s0 = acc[0][0] + acc[0][1];
+    const float s1 = acc[1][0] + acc[1][1];
+    const float s2 = acc[2][0] + acc[2][1];
+    st.y = (s0 + s1) + s2;
+    st.e = mu * (d[i] - st.y);
+    for (u32 k = 0; k < kLmsTaps; ++k) {
+      st.w[k] = std::fmaf(st.e, st.window[k], st.w[k]);
+    }
+  }
+}
+
+KernelSpec make_lms_spec(u64 seed) {
+  const auto w0 = random_floats(kLmsTaps, seed ^ 0x11, -0.5, 0.5);
+  const auto x = random_floats(kSteps, seed ^ 0x22, -1.0, 1.0);
+  const auto d = random_floats(kSteps, seed ^ 0x33, -1.0, 1.0);
+  const float mu = 0.03125f;
+
+  AsmBuilder b;
+  b.line(".data");
+  b.line("ticks: .space 8");
+  b.line("  .align 4");
+  b.label("warr");
+  b.line(float_data(w0));
+  b.label("xin");
+  b.line(float_data(x));
+  b.label("din");
+  b.line(float_data(d));
+  b.label("muv");
+  b.line("  .float " + flit(mu));
+  b.label("wout");
+  b.line("  .space " + imm(4 * kLmsTaps));
+  b.label("yout");
+  b.line("  .space 8");
+  b.line(".code");
+
+  b.line(load_addr(3, "warr"));
+  b.line("ldgi g8, g3, 0");
+  b.line("ldgi g16, g3, 32");
+  for (u32 k = 0; k < kLmsTaps; ++k) {  // zero window
+    b.line((k % 3 == 0 ? std::string("nop | ") : std::string()) +
+           "mov " + win(k) + ", g0");
+  }
+  b.line(load_addr(41, "xin"));
+  b.line(load_addr(40, "din"));
+  b.line(load_addr(4, "muv"));
+  b.line("ldwi g42, g4, 0");
+  b.line("setlo g7, " + imm(kSteps));
+  b.line(load_addr(90, "ticks"));
+
+  b.label("step");
+  b.line("gettick g91");
+  b.line("stwi g91, g90, 0");
+  // Slide the window: pure register moves, three per packet; the VLIW
+  // parallel-read rule makes in-place shifting safe in any order.
+  for (u32 k = kLmsTaps - 1; k >= 1; k -= 3) {
+    std::string s1 = "mov " + win(k) + ", " + win(k - 1);
+    std::string s2 = k >= 2 ? "mov " + win(k - 1) + ", " + win(k - 2) : "nop";
+    std::string s3 = k >= 3 ? "mov " + win(k - 2) + ", " + win(k - 3) : "nop";
+    b.packet({k == 15 ? "ldwi g43, g40, 0" : "nop", s1, s2, s3});
+    if (k < 3) break;
+  }
+  b.packet({"ldwi " + win(0) + ", g41, 0", "nop", "nop", "nop"});
+  // Clear the six accumulators.
+  b.packet({"addi g41, g41, 4", "mov l0, g0", "mov l0, g0", "mov l0, g0"});
+  b.packet({"addi g40, g40, 4", "mov l1, g0", "mov l1, g0", "mov l1, g0"});
+  // Dot product: tap k on FU (k%3), alternating accumulators.
+  for (u32 kk = 0; kk < kLmsTaps; kk += 3) {
+    std::string s[3] = {"nop", "nop", "nop"};
+    for (u32 f = 0; f < 3 && kk + f < kLmsTaps; ++f) {
+      const u32 k = kk + f;
+      s[f] = "fmadd " + l((k / 3) % 2) + ", " + w(k) + ", " + win(k);
+    }
+    b.packet({kk == 0 ? "addi g7, g7, -1" : "nop", s[0], s[1], s[2]});
+  }
+  // Reduce: s_f = l0 + l1 on each FU, then y = (s0 + s1) + s2 on FU1.
+  b.packet({"nop", "fadd g46, l0, l1", "fadd g47, l0, l1",
+            "fadd g48, l0, l1"});
+  b.packet({"nop", "fadd g44, g46, g47"});
+  b.packet({"nop", "fadd g44, g44, g48"});
+  // e = mu * (d - y)
+  b.packet({"nop", "fsub g45, g43, g44"});
+  b.packet({"nop", "fmul g45, g42, g45"});
+  // Weight update: w_k += e * window_k.
+  for (u32 kk = 0; kk < kLmsTaps; kk += 3) {
+    std::string s[3] = {"nop", "nop", "nop"};
+    for (u32 f = 0; f < 3 && kk + f < kLmsTaps; ++f) {
+      const u32 k = kk + f;
+      s[f] = "fmadd " + w(k) + ", g45, " + win(k);
+    }
+    b.packet({"nop", s[0], s[1], s[2]});
+  }
+  b.line("bnz g7, step");
+  b.line(tick_stop());
+
+  // Spill results for validation.
+  b.line(load_addr(3, "wout"));
+  for (u32 k = 0; k < kLmsTaps; ++k) {
+    b.line("stwi " + w(k) + ", g3, " + imm(4 * k));
+  }
+  b.line(load_addr(3, "yout"));
+  b.line("stwi g44, g3, 0");
+  b.line("stwi g45, g3, 4");
+  b.line("halt");
+
+  // Note: the addi g7 decrement sits in the first dot-product packet's FU0
+  // slot; the loop counter is decremented exactly once per step because the
+  // remaining dot-product packets carry nops there.
+  KernelSpec spec;
+  spec.name = "lms16";
+  spec.source = b.str();
+  spec.validate = [w0, x, d, mu](sim::MemoryBus& mem, const masm::Image& img,
+                                 std::string& msg) {
+    LmsState st{};
+    std::memcpy(st.w, w0.data(), sizeof st.w);
+    lms_reference(st, x.data(), d.data(), mu, kSteps);
+    const auto rd = [&](Addr a) {
+      float f;
+      const u32 r = mem.read_u32(a);
+      std::memcpy(&f, &r, 4);
+      return f;
+    };
+    const Addr wa = img.symbol("wout");
+    for (u32 k = 0; k < kLmsTaps; ++k) {
+      if (rd(wa + 4 * k) != st.w[k]) {
+        msg = "w[" + std::to_string(k) + "] = " + std::to_string(rd(wa + 4 * k)) +
+              ", expected " + std::to_string(st.w[k]);
+        return false;
+      }
+    }
+    if (rd(img.symbol("yout")) != st.y || rd(img.symbol("yout") + 4) != st.e) {
+      msg = "y/e mismatch";
+      return false;
+    }
+    return true;
+  };
+  return spec;
+}
+
+} // namespace majc::kernels

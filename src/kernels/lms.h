@@ -1,0 +1,29 @@
+// Single-sample, 16th-order LMS adaptive filter (Table 2, row 5).
+//
+// One adaptation step: slide the sample window, form y = w . x, the scaled
+// error e = mu * (d - y), then update all 16 weights w_k += e * x_k. The
+// window and weights live entirely in global registers; the measured pass
+// is the third loop iteration (caches warm), matching the paper's
+// steady-state 64-cycle figure.
+#pragma once
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+inline constexpr u32 kLmsTaps = 16;
+
+KernelSpec make_lms_spec(u64 seed = 1);
+
+struct LmsState {
+  float w[kLmsTaps];
+  float window[kLmsTaps];  // window[k] = x[n-k]
+  float y;
+  float e;
+};
+
+/// Golden model for `n` adaptation steps, mirroring the kernel exactly.
+void lms_reference(LmsState& st, const float* x, const float* d, float mu,
+                   u32 n);
+
+} // namespace majc::kernels

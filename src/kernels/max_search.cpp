@@ -1,0 +1,153 @@
+#include "src/kernels/max_search.h"
+
+#include <cstring>
+
+#include "src/kernels/codegen.h"
+#include "src/kernels/dsp_data.h"
+
+namespace majc::kernels {
+namespace {
+
+// Two-lane compare/select search: lane A scans even indices on FU1, lane B
+// scans odd indices on FU2; index selects ride on FU3. Each lane's serial
+// chain is fcmplt (4 cycles) -> cmovnz best -> next fcmplt, giving the
+// ~3 cycles/element the paper's 126-cycle figure implies. FU0 streams the
+// 40 loads.
+//
+// Register map: g8/g9 = lane bests, g10/g11 = lane best indices,
+// g12.. = element buffers (rotating, 8 regs/lane interleaved by parity),
+// g40/g41 = compare flags, g42 = scratch index constant, g4 = array base,
+// g6 = result ptr.
+
+std::string ebuf(u32 i) { return g(12 + i % 8); }
+
+} // namespace
+
+void max_search_reference(const float* x, u32 n, float& best, u32& index) {
+  // Lane A: even indices; lane B: odd; strict > updates; A wins ties.
+  float ba = x[0];
+  u32 ia = 0;
+  for (u32 i = 2; i < n; i += 2) {
+    if (ba < x[i]) {
+      ba = x[i];
+      ia = i;
+    }
+  }
+  float bb = x[1];
+  u32 ib = 1;
+  for (u32 i = 3; i < n; i += 2) {
+    if (bb < x[i]) {
+      bb = x[i];
+      ib = i;
+    }
+  }
+  if (ba < bb) {
+    best = bb;
+    index = ib;
+  } else {
+    best = ba;
+    index = ia;
+  }
+}
+
+KernelSpec make_max_search_spec(u64 seed) {
+  const auto x = random_floats(kMaxSearchN, seed ^ 0x3A, -100.0, 100.0);
+
+  AsmBuilder b;
+  b.line(".data");
+  b.line("ticks: .space 8");
+  b.line("  .align 4");
+  b.label("xarr");
+  b.line(float_data(x));
+  b.label("res");
+  b.line("  .space 8");
+  b.line(".code");
+  b.line(load_addr(4, "xarr"));
+  b.line(load_addr(6, "res"));
+  b.line(load_addr(90, "ticks"));
+  // Two passes: the first warms the I$/D$, the second is measured (the
+  // loop top re-stamps ticks+0, so ticks holds the warm pass).
+  b.line("setlo g44, 2");
+  b.label("pass");
+  b.line("gettick g91");
+  b.line("stwi g91, g90, 0");
+
+  // Seed the lanes with the first two elements.
+  b.line("ldwi g8, g4, 0");
+  b.line("ldwi g9, g4, 4");
+  b.line("setlo g10, 0 | setlo g11, 1 | nop | addi g44, g44, -1");
+
+  // Schedule: element i (i >= 2) occupies a 3-packet slot; its lane's
+  // fcmplt issues, and 4 packets later the value/index conditional moves
+  // retire while the other lane's chain interleaves.
+  const u32 n = kMaxSearchN;
+  // Flat emission with explicit per-packet slots.
+  struct Slot {
+    std::string s[4];
+  };
+  const u32 total = 3 * n + 16;
+  std::vector<Slot> sched(total);
+  auto put = [&](u32 pkt, u32 fu, const std::string& op) {
+    sched[pkt].s[fu] = op;
+  };
+  // Element i is loaded at packet p_load(i) = (i-2); its compare sits at
+  // 3*(i-2)/2 + 4 per lane cadence below.
+  for (u32 i = 2; i < n; ++i) {
+    const bool laneA = (i % 2) == 0;
+    const u32 slot = (i - 2) / 2;     // per-lane sequence number
+    const u32 base = 8 + 6 * slot + (laneA ? 0 : 3);
+    // Just-in-time load, two packets ahead of the compare.
+    put(base - 2, 0, "ldwi " + ebuf(i) + ", g4, " + imm(4 * i));
+    const std::string best = laneA ? "g8" : "g9";
+    const std::string bidx = laneA ? "g10" : "g11";
+    const std::string flag = laneA ? "g40" : "g41";
+    const std::string iconst = laneA ? "g42" : "g43";
+    const u32 cfu = laneA ? 1 : 2;
+    put(base, cfu, "fcmplt " + flag + ", " + best + ", " + ebuf(i));
+    put(base + 1, 3, "setlo " + iconst + ", " + imm(i));
+    put(base + 4, cfu, "cmovnz " + best + ", " + ebuf(i) + ", " + flag);
+    // The flag crosses to FU3 through write-back (+2), so the index select
+    // sits two packets behind the value select.
+    put(base + 6, 3, "cmovnz " + bidx + ", " + iconst + ", " + flag);
+  }
+  for (u32 p = 0; p < total; ++p) {
+    const auto& s = sched[p].s;
+    if (s[0].empty() && s[1].empty() && s[2].empty() && s[3].empty()) continue;
+    b.packet({s[0].empty() ? "nop" : s[0], s[1].empty() ? "nop" : s[1],
+              s[2].empty() ? "nop" : s[2], s[3].empty() ? "nop" : s[3]});
+  }
+
+  // Merge lanes: B wins only if strictly greater.
+  b.packet({"nop", "fcmplt g40, g8, g9"});
+  b.packet({"nop", "cmovnz g8, g9, g40"});
+  b.packet({"nop", "nop", "nop", "cmovnz g10, g11, g40"});
+  b.line("stwi g8, g6, 0");
+  b.line("stwi g10, g6, 4");
+  b.line("bnz g44, pass");
+  b.line(tick_stop());
+  b.line("halt");
+
+  KernelSpec spec;
+  spec.name = "maxsearch40";
+  spec.source = b.str();
+  spec.validate = [x](sim::MemoryBus& mem, const masm::Image& img,
+                      std::string& msg) {
+    float best;
+    u32 index;
+    max_search_reference(x.data(), kMaxSearchN, best, index);
+    float got;
+    const u32 raw = mem.read_u32(img.symbol("res"));
+    std::memcpy(&got, &raw, 4);
+    const u32 gidx = mem.read_u32(img.symbol("res") + 4);
+    if (got != best || gidx != index) {
+      msg = "got (" + std::to_string(got) + ", " + std::to_string(gidx) +
+            "), expected (" + std::to_string(best) + ", " +
+            std::to_string(index) + ")";
+      return false;
+    }
+    return true;
+  };
+  return spec;
+}
+
+} // namespace majc::kernels

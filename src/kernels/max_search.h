@@ -1,0 +1,16 @@
+// Maximum search over a 40-element float array (Table 2, row 6),
+// returning both the maximum value and its index.
+#pragma once
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+inline constexpr u32 kMaxSearchN = 40;
+
+KernelSpec make_max_search_spec(u64 seed = 1);
+
+/// Golden model with the kernel's two-lane scan order and tie-breaking.
+void max_search_reference(const float* x, u32 n, float& best, u32& index);
+
+} // namespace majc::kernels

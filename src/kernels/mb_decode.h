@@ -1,0 +1,17 @@
+// Composed macroblock decode: VLD+IZZ+IQ feeding the 8x8 IDCT for all six
+// blocks of a 4:2:0 macroblock in one MAJC program — the integration the
+// paper describes ("one can decode a variable length symbol and perform
+// inverse zig-zag transform and inverse quantization within 18 cycles",
+// followed by the IDCT of Table 1).
+#pragma once
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+inline constexpr u32 kMbBlocks = 6;          // 4:2:0 macroblock
+inline constexpr u32 kMbSymbolsPerBlock = 40;
+
+KernelSpec make_mb_decode_spec(u64 seed = 1);
+
+} // namespace majc::kernels

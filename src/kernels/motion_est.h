@@ -1,0 +1,40 @@
+// Full-pel motion estimation with a logarithmic search, +/-16 range
+// (Table 1, row 4; paper: ~3000 cycles per motion vector).
+//
+// A 16x16 current block is held entirely in FU-local registers (64 words
+// spread over FU1..FU3); each candidate SAD streams the reference window
+// with word loads, aligns unaligned rows with funnel shifts (SLL/SRL/OR),
+// and reduces with the PDIST packed-byte L1-distance instruction — the
+// "byte permutation and pixel distance operations" the paper credits for
+// motion estimation speed. The search refines in four rounds of eight
+// neighbors at steps 8, 4, 2, 1 (33 SAD evaluations).
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+inline constexpr u32 kMeBlock = 16;     // block edge in pixels
+inline constexpr u32 kMeStride = 64;    // reference frame stride (bytes)
+inline constexpr u32 kMeFrame = 64;     // reference frame edge
+inline constexpr u32 kMeCenter = 24;    // block origin inside the frame
+
+struct MeResult {
+  i32 mx = 0;
+  i32 my = 0;
+  u32 sad = 0;
+};
+
+/// Golden log search matching the kernel's candidate order and tie-breaks.
+MeResult motion_search_reference(const std::vector<u8>& ref,
+                                 const std::vector<u8>& cur);
+
+/// Deterministic frame pair: `cur` is a shifted, noise-perturbed crop of
+/// `ref` so the search has a meaningful optimum.
+void make_me_frames(u64 seed, std::vector<u8>& ref, std::vector<u8>& cur);
+
+KernelSpec make_motion_est_spec(u64 seed = 1);
+
+} // namespace majc::kernels

@@ -1,0 +1,26 @@
+// Peak-rate burst kernels for the headline numbers (paper §1/§6):
+// 6.16 GFLOPS = 2 CPUs x (3 FMA units x 2 flops + a 6-cycle FU0
+// reciprocal-sqrt contributing 1/6 flop/cycle) at 500 MHz, and
+// 12.32 GOPS = 2 CPUs x (3 x 2-way SIMD multiply-add = 12 ops + a 6-cycle
+// FU0 SIMD divide contributing 2/6 ops/cycle).
+#pragma once
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+struct PeakSpec {
+  KernelSpec kernel;
+  double flops_per_iteration = 0;  // FP32 operations per loop iteration
+  double ops16_per_iteration = 0;  // 16-bit operations per loop iteration
+  u32 iterations = 0;
+};
+
+/// FP32 burst: 24-packet loop of independent FMADDs on FU1-3 with an FU0
+/// reciprocal-sqrt every 6 packets.
+PeakSpec make_fp_peak_spec(u32 iterations = 1000);
+
+/// SIMD burst: PMADDH on FU1-3 with an FU0 S2.13 pairwise divide every 6.
+PeakSpec make_simd_peak_spec(u32 iterations = 1000);
+
+} // namespace majc::kernels

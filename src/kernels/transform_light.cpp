@@ -1,0 +1,323 @@
+#include "src/kernels/transform_light.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/kernels/codegen.h"
+#include "src/kernels/dsp_data.h"
+
+namespace majc::kernels {
+namespace {
+
+// Register map:
+//  g8..g23  matrix rows (m[i][j] at g(8+4i+j)), g24..g26 light, g27 ambient,
+//  g28 intensity, g4 = in ptr, g5 = out ptr, g7 = vertex-pair counter.
+// Per-set registers (set 0 / set 1):
+//  inputs g30..g39 / g60..g69 (pair-load layout), outputs g50..g57 /
+//  g70..g77, lighting temps g44..g46 / g78..g80... (see in_reg/out_reg).
+
+/// Register holding input float `i` of set `s` (LDL pair swap applied).
+std::string in_reg(u32 s, u32 i) {
+  const u32 base = s == 0 ? 30 : 60;
+  return g(base + (i ^ 1));
+}
+std::string out_base(u32 s, u32 i) { return g((s == 0 ? 50 : 70) + i); }
+/// Output float i lives at pair position i^1 (so STL emits it in order).
+std::string out_reg(u32 s, u32 i) { return g((s == 0 ? 50 : 70) + (i ^ 1)); }
+
+std::string mreg(u32 i, u32 j) { return g(8 + 4 * i + j); }
+
+} // namespace
+
+TlUniforms make_tl_uniforms(u64 seed) {
+  TlUniforms u{};
+  SplitMix64 rng(seed ^ 0x71);
+  for (auto& row : u.m) {
+    for (auto& v : row) v = static_cast<float>(rng.next_double(-1.0, 1.0));
+  }
+  float lx = static_cast<float>(rng.next_double(-1.0, 1.0));
+  float ly = static_cast<float>(rng.next_double(-1.0, 1.0));
+  float lz = static_cast<float>(rng.next_double(0.2, 1.0));
+  const float n = std::sqrt(lx * lx + ly * ly + lz * lz);
+  u.light[0] = lx / n;
+  u.light[1] = ly / n;
+  u.light[2] = lz / n;
+  u.ambient = 0.25f;
+  u.intensity = 0.75f;
+  return u;
+}
+
+void transform_light_reference(const TlUniforms& u, const float* in,
+                               float* out, u32 vertices) {
+  for (u32 v = 0; v < vertices; ++v) {
+    const float* p = in + v * kTlInFloats;
+    float* o = out + v * kTlOutFloats;
+    for (u32 i = 0; i < 4; ++i) {
+      float acc = u.m[i][3];
+      acc = std::fmaf(u.m[i][0], p[0], acc);
+      acc = std::fmaf(u.m[i][1], p[1], acc);
+      acc = std::fmaf(u.m[i][2], p[2], acc);
+      o[i] = acc;
+    }
+    float nl = u.light[0] * p[3];
+    nl = std::fmaf(u.light[1], p[4], nl);
+    nl = std::fmaf(u.light[2], p[5], nl);
+    // s = ambient + intensity * max(nl, 0), computed as a clamped fma:
+    // with intensity >= 0 this is exactly fmax(fma(intensity, nl, ambient),
+    // ambient), which is one step shorter on the critical path.
+    float s = std::fmaf(u.intensity, nl, u.ambient);
+    s = std::fmax(s, u.ambient);
+    o[4] = p[6] * s;
+    o[5] = p[7] * s;
+    o[6] = p[8] * s;
+    o[7] = 0.0f;
+  }
+}
+
+KernelSpec make_transform_light_spec(u32 vertices, u64 seed) {
+  require(vertices % 2 == 0, "transform_light processes vertex pairs");
+  const TlUniforms u = make_tl_uniforms(seed);
+  const auto in = random_floats(vertices * kTlInFloats, seed ^ 0x7F, -1.0, 1.0);
+
+  AsmBuilder b;
+  b.line(".data");
+  b.line("ticks: .space 8");
+  b.line("  .align 8");
+  b.label("uni");
+  std::vector<float> uf;
+  for (const auto& row : u.m) uf.insert(uf.end(), row, row + 4);
+  uf.insert(uf.end(), u.light, u.light + 3);
+  uf.push_back(u.ambient);
+  uf.push_back(u.intensity);
+  uf.resize(24, 0.0f);
+  b.line(float_data(uf));
+  b.line("  .align 32");
+  b.label("vin");
+  b.line("  .space " + imm(vertices * kTlInFloats * 4));
+  b.line("  .align 32");
+  b.label("vout");
+  b.line("  .space " + imm(vertices * kTlOutFloats * 4));
+  b.line(".code");
+  b.line(load_addr(3, "uni"));
+  b.line("ldgi g8, g3, 0");
+  b.line("ldgi g16, g3, 32");
+  b.line("ldgi g24, g3, 64");  // light(3), ambient, intensity + padding
+  // The ldg leaves light at g24..g26, ambient g27, intensity g28.
+  b.line(load_addr(4, "vin"));
+  b.line(load_addr(5, "vout"));
+  b.line("setlo g7, " + imm(vertices / 2));
+  b.line(tick_start());
+
+  b.label("vtx");
+  PacketScheduler sched;
+  u32 last_op = 0;
+  for (u32 s = 0; s < 2; ++s) {
+    const u32 in_off = s * kTlInFloats * 4;
+    const u32 out_off = s * kTlOutFloats * 4;
+    const u32 lbase = s == 0 ? 30 : 60;
+    u32 lp[5];
+    for (u32 k = 0; k < 5; ++k) {
+      lp[k] = sched.place("ldli " + g(lbase + 2 * k) + ", g4, " +
+                              imm(in_off + 8 * k),
+                          0, 5 * s + k);
+    }
+    const u32 ready_pos = lp[1] + 2;   // x,y,z loaded by lp[1]
+    const u32 ready_nrm = lp[2] + 2;
+    const u32 ready_col = lp[4] + 2;
+    // Matrix rows 0..3 on FUs 1..3 (row 3 shares FU1).
+    u32 row_done[4];
+    for (u32 i = 0; i < 4; ++i) {
+      const u32 fu = 1 + i % 3;
+      u32 p = sched.place("mov " + out_reg(s, i) + ", " + mreg(i, 3), fu,
+                          5 * s);
+      p = sched.place("fmadd " + out_reg(s, i) + ", " + mreg(i, 0) + ", " +
+                          in_reg(s, 0),
+                      fu, std::max(p + 1, ready_pos));
+      p = sched.place("fmadd " + out_reg(s, i) + ", " + mreg(i, 1) + ", " +
+                          in_reg(s, 1),
+                      fu, p + 4);
+      p = sched.place("fmadd " + out_reg(s, i) + ", " + mreg(i, 2) + ", " +
+                          in_reg(s, 2),
+                      fu, p + 4);
+      row_done[i] = p + 4;
+    }
+    // Lighting chain on FU2/FU3 (scratch g44..g46 / g78..g80).
+    const std::string nl = g(s == 0 ? 44 : 78);
+    const std::string sc = g(s == 0 ? 45 : 79);
+    const u32 lfu = s == 0 ? 2 : 3;
+    sched.place("mov " + sc + ", g27", lfu, 5 * s);  // ambient (off-path)
+    u32 p = sched.place("fmul " + nl + ", g24, " + in_reg(s, 3), lfu,
+                        ready_nrm);
+    p = sched.place("fmadd " + nl + ", g25, " + in_reg(s, 4), lfu, p + 4);
+    p = sched.place("fmadd " + nl + ", g26, " + in_reg(s, 5), lfu, p + 4);
+    p = sched.place("fmadd " + sc + ", g28, " + nl, lfu, p + 4);
+    p = sched.place("fmax " + sc + ", " + sc + ", g27", lfu, p + 4);
+    const u32 sc_ready = p + 1;
+    u32 col_done = 0;
+    for (u32 c = 0; c < 3; ++c) {
+      const u32 q = sched.place("fmul " + out_reg(s, 4 + c) + ", " + sc +
+                                    ", " + in_reg(s, 6 + c),
+                                1 + c % 3, std::max(sc_ready + 2, ready_col));
+      col_done = std::max(col_done, q + 4);
+    }
+    sched.place("mov " + out_reg(s, 7) + ", g0", 1 + s, 5 * s);
+    // Stores: 4 pair stores once their halves are ready.
+    for (u32 k = 0; k < 4; ++k) {
+      const u32 ready =
+          k < 2 ? std::max(row_done[2 * k], row_done[2 * k + 1]) + 2
+                : col_done + 2;
+      last_op = std::max(
+          last_op, sched.place("stli " + out_base(s, 2 * k) + ", g5, " +
+                                   imm(out_off + 8 * k),
+                               0, ready));
+    }
+  }
+  sched.place("addi g4, g4, 80", 1, last_op + 1);
+  sched.place("addi g5, g5, 64", 2, last_op + 1);
+  sched.place("addi g7, g7, -1", 3, last_op + 1);
+  sched.emit(b);
+  b.line("bnz g7, vtx");
+  b.line(tick_stop());
+  b.line("halt");
+
+  KernelSpec spec;
+  spec.name = "transform_light";
+  spec.source = b.str();
+  spec.max_packets = 400'000'000;
+  spec.setup = [in](sim::MemoryBus& mem, const masm::Image& img) {
+    mem.write(img.symbol("vin"),
+              {reinterpret_cast<const u8*>(in.data()), in.size() * 4});
+  };
+  spec.validate = [u, in, vertices](sim::MemoryBus& mem,
+                                    const masm::Image& img, std::string& msg) {
+    std::vector<float> expect(vertices * kTlOutFloats);
+    transform_light_reference(u, in.data(), expect.data(), vertices);
+    const Addr oa = img.symbol("vout");
+    for (u32 i = 0; i < vertices * kTlOutFloats; ++i) {
+      float got;
+      const u32 raw = mem.read_u32(oa + 4 * i);
+      std::memcpy(&got, &raw, 4);
+      if (got != expect[i]) {
+        msg = "out[" + std::to_string(i) + "] = " + std::to_string(got) +
+              ", expected " + std::to_string(expect[i]);
+        return false;
+      }
+    }
+    return true;
+  };
+  return spec;
+}
+
+KernelSpec make_transform_only_spec(u32 vertices, u64 seed) {
+  require(vertices % 2 == 0, "transform kernel processes vertex pairs");
+  const TlUniforms u = make_tl_uniforms(seed);
+  const auto in = random_floats(vertices * 4, seed ^ 0x70, -1.0, 1.0);
+
+  AsmBuilder b;
+  b.line(".data");
+  b.line("ticks: .space 8");
+  b.line("  .align 8");
+  b.label("uni");
+  std::vector<float> uf;
+  for (const auto& row : u.m) uf.insert(uf.end(), row, row + 4);
+  b.line(float_data(uf));
+  b.line("  .align 32");
+  b.label("vin");
+  b.line("  .space " + imm(vertices * 16));
+  b.line("  .align 32");
+  b.label("vout");
+  b.line("  .space " + imm(vertices * 16));
+  b.line(".code");
+  b.line(load_addr(3, "uni"));
+  b.line("ldgi g8, g3, 0");
+  b.line("ldgi g16, g3, 32");
+  b.line(load_addr(4, "vin"));
+  b.line(load_addr(5, "vout"));
+  b.line("setlo g7, " + imm(vertices / 2));
+  b.line(tick_start());
+  b.label("vtx");
+  PacketScheduler sched;
+  u32 last_op = 0;
+  for (u32 s = 0; s < 2; ++s) {
+    const u32 lbase = s == 0 ? 30 : 60;
+    u32 lp[2];
+    for (u32 k = 0; k < 2; ++k) {
+      lp[k] = sched.place("ldli " + g(lbase + 2 * k) + ", g4, " +
+                              imm(16 * s + 8 * k),
+                          0, 2 * s + k);
+    }
+    const u32 ready = lp[1] + 2;
+    u32 row_done[4];
+    for (u32 i = 0; i < 4; ++i) {
+      const u32 fu = 1 + i % 3;
+      const std::string acc = g((s == 0 ? 50 : 70) + (i ^ 1));
+      u32 p = sched.place("mov " + acc + ", " + mreg(i, 3), fu, 2 * s);
+      for (u32 j = 0; j < 3; ++j) {
+        p = sched.place("fmadd " + acc + ", " + mreg(i, j) + ", " +
+                            g(lbase + (j ^ 1)),
+                        fu, std::max(p + (j == 0 ? 1 : 4), ready));
+      }
+      row_done[i] = p + 4;
+    }
+    for (u32 k = 0; k < 2; ++k) {
+      const u32 r = std::max(row_done[2 * k], row_done[2 * k + 1]) + 2;
+      last_op = std::max(
+          last_op, sched.place("stli " + g((s == 0 ? 50 : 70) + 2 * k) +
+                                   ", g5, " + imm(16 * s + 8 * k),
+                               0, r));
+    }
+  }
+  sched.place("addi g4, g4, 32", 1, last_op + 1);
+  sched.place("addi g5, g5, 32", 2, last_op + 1);
+  sched.place("addi g7, g7, -1", 3, last_op + 1);
+  sched.emit(b);
+  b.line("bnz g7, vtx");
+  b.line(tick_stop());
+  b.line("halt");
+
+  KernelSpec spec;
+  spec.name = "transform_only";
+  spec.source = b.str();
+  spec.max_packets = 400'000'000;
+  spec.setup = [in](sim::MemoryBus& mem, const masm::Image& img) {
+    mem.write(img.symbol("vin"),
+              {reinterpret_cast<const u8*>(in.data()), in.size() * 4});
+  };
+  spec.validate = [u, in, vertices](sim::MemoryBus& mem,
+                                    const masm::Image& img, std::string& msg) {
+    const Addr oa = img.symbol("vout");
+    for (u32 v = 0; v < vertices; ++v) {
+      const float* p = in.data() + v * 4;
+      for (u32 i = 0; i < 4; ++i) {
+        float acc = u.m[i][3];
+        acc = std::fmaf(u.m[i][0], p[0], acc);
+        acc = std::fmaf(u.m[i][1], p[1], acc);
+        acc = std::fmaf(u.m[i][2], p[2], acc);
+        float got;
+        const u32 raw = mem.read_u32(oa + 16 * v + 4 * i);
+        std::memcpy(&got, &raw, 4);
+        if (got != acc) {
+          msg = "vertex " + std::to_string(v) + " row " + std::to_string(i) +
+                " mismatch";
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  return spec;
+}
+
+double measure_tl_cycles_per_vertex(bool lit) {
+  constexpr u32 kVerts = 512;
+  // Vertex data arrives through on-chip buffers in the GPP pipeline.
+  TimingConfig cfg;
+  cfg.perfect_dcache = true;
+  const auto spec =
+      lit ? make_transform_light_spec(kVerts) : make_transform_only_spec(kVerts);
+  const auto run = run_kernel(spec, cfg);
+  require(run.valid, "transform kernel failed validation: " + run.message);
+  return static_cast<double>(run.kernel_cycles) / kVerts;
+}
+
+} // namespace majc::kernels

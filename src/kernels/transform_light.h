@@ -1,0 +1,48 @@
+// Geometry transform + diffuse lighting (the CPU half of the paper's §5
+// graphics pipeline: "the geometry transformation and lighting are then
+// performed using the CPUs", 60-90 Mtriangles/s with the GPP feeding both).
+//
+// Per vertex: position through a 4x4 matrix (12 FMA in four per-row chains),
+// diffuse = max(0, n.L), color scaled by ambient + diffuse*intensity.
+// Two vertices are processed per loop body so the FP chains of one hide the
+// latency of the other; FU0 streams 5 pair loads + 4 pair stores per vertex.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+/// Input layout: 10 floats per vertex (x,y,z, nx,ny,nz, r,g,b, pad).
+inline constexpr u32 kTlInFloats = 10;
+/// Output layout: 8 floats (X,Y,Z,W, r,g,b, pad).
+inline constexpr u32 kTlOutFloats = 8;
+
+struct TlUniforms {
+  float m[4][4];     // row-major transform
+  float light[3];    // unit light direction
+  float ambient;
+  float intensity;
+};
+
+TlUniforms make_tl_uniforms(u64 seed);
+
+/// Golden model mirroring the kernel's fmaf structure exactly.
+void transform_light_reference(const TlUniforms& u, const float* in,
+                               float* out, u32 vertices);
+
+/// Kernel over `vertices` vertices (must be even).
+KernelSpec make_transform_light_spec(u32 vertices, u64 seed = 1);
+
+/// Transform-only variant (4-float vertices, no lighting): the lean
+/// geometry path that bounds the pipeline's upper triangle rate.
+KernelSpec make_transform_only_spec(u32 vertices, u64 seed = 1);
+
+/// Measured steady-state cycles per vertex (used by the GPP pipeline
+/// benchmark); runs the kernel on the cycle simulator. Vertices stream
+/// through on-chip buffers in the real pipeline, so the default config
+/// for this measurement uses the perfect-D$ delivery mode.
+double measure_tl_cycles_per_vertex(bool lit = true);
+
+} // namespace majc::kernels

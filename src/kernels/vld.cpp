@@ -1,0 +1,177 @@
+#include "src/kernels/vld.h"
+
+#include <cmath>
+
+#include "src/kernels/codegen.h"
+#include "src/kernels/dsp_data.h"
+#include "src/support/bits.h"
+
+namespace majc::kernels {
+namespace {
+
+constexpr u8 kZigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+u32 prefix_len(i32 level) {
+  const u32 mag = static_cast<u32>(level < 0 ? -level : level);
+  return std::min(12u, mag - 1);
+}
+
+/// MSB-first packer into u32 words.
+class WordBitWriter {
+public:
+  void put(u32 value, u32 bits) {
+    for (u32 i = bits; i-- > 0;) {
+      acc_ = (acc_ << 1) | ((value >> i) & 1u);
+      if (++n_ == 32) {
+        words_.push_back(acc_);
+        acc_ = 0;
+        n_ = 0;
+      }
+    }
+  }
+  std::vector<u32> finish() {
+    if (n_ != 0) words_.push_back(acc_ << (32 - n_));
+    words_.push_back(0);  // decoder window lookahead padding
+    words_.push_back(0);
+    words_.push_back(0);
+    return std::move(words_);
+  }
+
+private:
+  std::vector<u32> words_;
+  u32 acc_ = 0;
+  u32 n_ = 0;
+};
+
+} // namespace
+
+std::vector<VldSymbol> make_vld_symbols(u64 seed) {
+  std::vector<VldSymbol> syms(kVldSymbols);
+  SplitMix64 rng(seed ^ 0x71D);
+  for (auto& s : syms) {
+    // Geometric-ish magnitude: short codes dominate, as in real streams.
+    u32 mag = 1;
+    while (mag < 31 && rng.next_below(100) < 45) ++mag;
+    const bool neg = rng.next_below(2) != 0;
+    s.level = neg ? -static_cast<i32>(mag) : static_cast<i32>(mag);
+    s.run = rng.next_below(16);
+  }
+  return syms;
+}
+
+std::vector<u32> encode_vld_stream(const std::vector<VldSymbol>& syms) {
+  WordBitWriter w;
+  for (const auto& s : syms) {
+    const u32 n = prefix_len(s.level);
+    w.put(1, n + 1);  // n zeros then a one
+    w.put(s.run, 4);
+    w.put(static_cast<u32>(s.level + 32), 6);
+  }
+  return w.finish();
+}
+
+void vld_reference(const std::vector<u32>& stream, u32 symbols, i16* block) {
+  for (u32 i = 0; i < 64; ++i) block[i] = 0;
+  u32 pos = 0;  // absolute bit position
+  u32 idx = 63; // so the first symbol's run+1 advance lands on (idx+run+1)&63
+  for (u32 s = 0; s < symbols; ++s) {
+    const u32 word = pos >> 5;
+    const u64 window = (u64{stream[word]} << 32) | stream[word + 1];
+    const u32 v = bitfield_extract(static_cast<u32>(window >> 32),
+                                   static_cast<u32>(window), pos & 31, 32);
+    const u32 n = leading_zeros(v);
+    const u32 run = (v >> (27 - n)) & 15u;
+    const i32 level = static_cast<i32>((v >> (21 - n)) & 63u) - 32;
+    pos += n + 11;
+    idx = (idx + run + 1) & 63u;
+    block[kZigzag[idx]] = static_cast<i16>(level * kVldQscale);
+  }
+}
+
+const u8* vld_zigzag_table() { return kZigzag; }
+
+void emit_vld_loop(AsmBuilder& b, u32 symbols, const char* label) {
+  b.line("setlo g16, " + imm(symbols));
+  b.label(label);
+  // Window address: base + (P >> 5) * 4.
+  b.packet({"nop", "srli g20, g10, 5", "andi g21, g10, 31"});
+  b.packet({"nop", "slli g20, g20, 2", "add g21, g21, g17"});
+  b.packet({"nop", "add g20, g11, g20"});
+  b.line("ldwi g24, g20, 0");
+  b.line("ldwi g25, g20, 4");
+  // 32-bit window from the bit position, prefix via LZD.
+  b.packet({"nop", "bext g26, g24, g21"});
+  b.packet({"nop", "lzd g27, g26"});
+  // run = (v >> (27 - n)) & 15; level = ((v >> (21 - n)) & 63) - 32.
+  b.packet({"nop", "sub g28, g29, g27", "sub g30, g31, g27",
+            "add g10, g10, g27"});
+  b.packet({"addi g10, g10, 11", "srl g28, g26, g28", "srl g30, g26, g30"});
+  b.packet({"addi g16, g16, -1", "andi g28, g28, 15", "andi g30, g30, 63"});
+  b.packet({"nop", "add g15, g15, g28", "addi g30, g30, -32"});
+  b.packet({"nop", "addi g15, g15, 1", "mul g33, g30, g14"});
+  b.packet({"nop", "andi g15, g15, 63"});
+  b.line("ldbu g32, g13, g15");
+  b.packet({"nop", "slli g34, g32, 1"});
+  b.line("sth g33, g12, g34");
+  b.line(std::string("bnz g16, ") + label);
+}
+
+KernelSpec make_vld_spec(u64 seed) {
+  const auto syms = make_vld_symbols(seed);
+  const auto stream = encode_vld_stream(syms);
+
+  AsmBuilder b;
+  b.line(".data");
+  b.line("ticks: .space 8");
+  b.line("  .align 8");
+  b.label("bits");
+  b.line(word_data(stream));
+  b.label("zig");
+  b.line(byte_data(std::vector<u8>(kZigzag, kZigzag + 64)));
+  b.line("  .align 8");
+  b.label("blk");
+  b.line("  .space 128");
+  b.line(".code");
+  // g10 = bit position, g11 = stream base, g12 = block base, g13 = zigzag
+  // base, g14 = qscale, g15 = scan index, g16 = symbol counter,
+  // g17 = 2048 (ctl length field for 32-bit BEXT), g29 = 27, g31 = 21.
+  b.line(load_addr(11, "bits"));
+  b.line(load_addr(12, "blk"));
+  b.line(load_addr(13, "zig"));
+  b.line("setlo g14, " + imm(kVldQscale));
+  b.line("setlo g10, 0");
+  b.line("setlo g15, 63");
+  b.line("setlo g17, 2048");
+  b.line("setlo g29, 27");
+  b.line("setlo g31, 21");
+  b.line(tick_start());
+  emit_vld_loop(b, kVldSymbols, "sym");
+  b.line(tick_stop());
+  b.line("halt");
+
+  KernelSpec spec;
+  spec.name = "vld_izz_iq";
+  spec.source = b.str();
+  spec.validate = [stream](sim::MemoryBus& mem, const masm::Image& img,
+                           std::string& msg) {
+    i16 expect[64];
+    vld_reference(stream, kVldSymbols, expect);
+    const Addr ba = img.symbol("blk");
+    for (u32 i = 0; i < 64; ++i) {
+      const i16 got = static_cast<i16>(mem.read_u16(ba + 2 * i));
+      if (got != expect[i]) {
+        msg = "block[" + std::to_string(i) + "] = " + std::to_string(got) +
+              ", expected " + std::to_string(expect[i]);
+        return false;
+      }
+    }
+    return true;
+  };
+  return spec;
+}
+
+} // namespace majc::kernels

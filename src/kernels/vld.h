@@ -1,0 +1,51 @@
+// MPEG-2-style variable-length decode + inverse zigzag + inverse
+// quantization (Table 1, row 3; paper: 27 Msymbols/s = 18.5 cycles/symbol).
+//
+// The code format is a run/level prefix code in the MPEG-2 mold:
+//   [n zeros][1][run:4][level:6],  n = min(12, |level| - 1)
+// so frequent small levels get short codes. The decoder extracts a 32-bit
+// window with a single BEXT from the bit position, finds the prefix with
+// LZD (leading-zero detect), and peels run/level with variable shifts —
+// the "versatile bit and byte manipulation operations [that] help the
+// variable length decoding" (paper §5). Each decoded level is placed
+// through the zigzag table and scaled by the quantizer step.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/kernel.h"
+
+namespace majc::kernels {
+
+inline constexpr u32 kVldSymbols = 512;
+inline constexpr i32 kVldQscale = 12;
+
+struct VldSymbol {
+  u32 run;   // 0..15
+  i32 level; // [-32, 31], nonzero
+};
+
+/// Deterministic symbol stream with a geometric level distribution.
+std::vector<VldSymbol> make_vld_symbols(u64 seed);
+
+/// MSB-first bit packing of the symbol stream into 32-bit words.
+std::vector<u32> encode_vld_stream(const std::vector<VldSymbol>& syms);
+
+/// Golden decoder: mirrors the kernel's arithmetic exactly; returns the
+/// final 64-coefficient block state.
+void vld_reference(const std::vector<u32>& stream, u32 symbols, i16* block);
+
+KernelSpec make_vld_spec(u64 seed = 1);
+
+/// Emit the decode loop into `b` for composition with other kernels
+/// (e.g. the macroblock pipeline). Register contract: g10 = bit position
+/// (live across calls), g11 = stream base, g12 = block base, g13 = zigzag
+/// table base, g14 = qscale, g15 = scan index, g17/g29/g31 = constants
+/// 2048/27/21; decodes `symbols` symbols; clobbers g16, g20..g34.
+void emit_vld_loop(class AsmBuilder& b, u32 symbols, const char* label);
+
+/// The zigzag scan table shared by the VLD kernels (raster position of each
+/// scan index).
+const u8* vld_zigzag_table();
+
+} // namespace majc::kernels

@@ -1,0 +1,59 @@
+// MAJC assembler: text source -> loadable Image.
+//
+// Syntax (one packet per source line; slot i of a packet executes on FUi):
+//
+//   # comment, // comment
+//   .code                     switch to code section (the default)
+//   .data                     switch to data section
+//   .align N                  pad data section to N-byte alignment
+//   .byte/.half/.word v,...   emit initialized data (v: int or symbol for .word)
+//   .float/.double v,...      emit FP data
+//   .space N                  reserve N zero bytes
+//   .entry label              set the program entry point
+//
+//   label:                    define a symbol (code: packet address)
+//     setlo g3, 64 | setlo l0, 0 | li l0, 1 ;;
+//     loop: ldwi g4, g3, 0 | fmadd l0, g4, g5
+//     bnz g4, loop
+//     halt
+//
+// Mnemonic suffixes select the R-form sub field: memory ops take .nc
+// (non-cached) / .na (non-allocating); SIMD ops take .s / .u / .b
+// (signed / unsigned / byte saturation).
+//
+// Operand expressions: integer literals, %hi(sym) / %lo(sym) for address
+// materialization with sethi/orlo, bare symbols for branch and call targets
+// and .word initializers.
+//
+// Pseudo-instructions: mov rd,rs (= or rd,rs,g0); li rd,imm16 (= setlo);
+// not rd,rs (= xori rd,rs,-1); b label (= bz g0,label); ret (= jmpl g0,g1).
+//
+// Register names: g0..g95, l0..l31, plus aliases zero (g0), lr (g1), sp (g2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/masm/image.h"
+
+namespace majc::masm {
+
+struct Diagnostic {
+  u32 line = 0;
+  std::string message;
+};
+
+/// Assemble `source`. On success returns the image; on failure returns
+/// nullopt with at least one diagnostic. Diagnostics may also carry
+/// warnings alongside a successful result.
+std::optional<Image> assemble(std::string_view source,
+                              std::vector<Diagnostic>& diags);
+
+/// Convenience wrapper for code that treats assembly failure as fatal
+/// (kernels embedded in the library). Throws majc::Error with the first
+/// diagnostic's text.
+Image assemble_or_throw(std::string_view source);
+
+} // namespace majc::masm

@@ -1,0 +1,165 @@
+#include "src/masm/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace majc::masm {
+namespace {
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+} // namespace
+
+bool lex_line(std::string_view line, std::vector<Token>& out, std::string& error) {
+  out.clear();
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  auto push = [&](TokKind kind, u32 col) {
+    Token t;
+    t.kind = kind;
+    t.column = col;
+    out.push_back(std::move(t));
+    return &out.back();
+  };
+
+  while (i < n) {
+    const char c = line[i];
+    const u32 col = static_cast<u32>(i + 1);
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') break;
+    if (c == '/' && i + 1 < n && line[i + 1] == '/') break;
+    if (c == ';') {
+      if (i + 1 < n && line[i + 1] == ';') {
+        i += 2; // ";;" packet terminator: ignore, line end is the boundary
+        continue;
+      }
+      error = "single ';' is not valid; use '#' or '//' for comments";
+      return false;
+    }
+    switch (c) {
+      case ',': push(TokKind::kComma, col); ++i; continue;
+      case '|': push(TokKind::kPipe, col); ++i; continue;
+      case ':': push(TokKind::kColon, col); ++i; continue;
+      case '%': push(TokKind::kPercent, col); ++i; continue;
+      case '(': push(TokKind::kLParen, col); ++i; continue;
+      case ')': push(TokKind::kRParen, col); ++i; continue;
+      default: break;
+    }
+    if (c == '"') {
+      std::size_t j = i + 1;
+      std::string text;
+      bool closed = false;
+      while (j < n) {
+        const char d = line[j];
+        if (d == '"') {
+          closed = true;
+          ++j;
+          break;
+        }
+        if (d == '\\' && j + 1 < n) {
+          const char e = line[j + 1];
+          switch (e) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '0': text += '\0'; break;
+            case '\\': text += '\\'; break;
+            case '"': text += '"'; break;
+            default:
+              error = std::string("unknown escape '\\") + e + "'";
+              return false;
+          }
+          j += 2;
+          continue;
+        }
+        text += d;
+        ++j;
+      }
+      if (!closed) {
+        error = "unterminated string literal";
+        return false;
+      }
+      Token* t = push(TokKind::kString, col);
+      t->text = std::move(text);
+      i = j;
+      continue;
+    }
+    if (c == '.') {
+      // Directive: '.' followed by an identifier.
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(line[j])) ++j;
+      if (j == i + 1) {
+        error = "stray '.'";
+        return false;
+      }
+      Token* t = push(TokKind::kDirective, col);
+      t->text = std::string(line.substr(i + 1, j - i - 1));
+      i = j;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(line[j])) ++j;
+      Token* t = push(TokKind::kIdent, col);
+      t->text = std::string(line.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        ((c == '-' || c == '+') && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(line[i + 1])))) {
+      // Number: decimal, hex (0x), or floating point (contains '.', 'e'
+      // after digits, but 0x.. stays integral).
+      std::size_t j = i + 1;
+      bool is_hex = false;
+      if (line[i] == '0' && j < n && (line[j] == 'x' || line[j] == 'X')) {
+        is_hex = true;
+        ++j;
+      } else if ((c == '-' || c == '+') && line[i + 1] == '0' && i + 2 < n &&
+                 (line[i + 2] == 'x' || line[i + 2] == 'X')) {
+        is_hex = true;
+        j = i + 3;
+      }
+      bool is_float = false;
+      while (j < n) {
+        const char d = line[j];
+        if (std::isxdigit(static_cast<unsigned char>(d)) && is_hex) {
+          ++j;
+        } else if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++j;
+        } else if (!is_hex && (d == '.' || d == 'e' || d == 'E')) {
+          is_float = true;
+          ++j;
+          if (j < n && (line[j] == '-' || line[j] == '+') &&
+              (line[j - 1] == 'e' || line[j - 1] == 'E')) {
+            ++j;
+          }
+        } else {
+          break;
+        }
+      }
+      const std::string text(line.substr(i, j - i));
+      if (is_float) {
+        Token* t = push(TokKind::kFloat, col);
+        t->fval = std::strtod(text.c_str(), nullptr);
+      } else {
+        Token* t = push(TokKind::kNumber, col);
+        t->ival = std::strtoll(text.c_str(), nullptr, 0);
+      }
+      i = j;
+      continue;
+    }
+    error = std::string("unexpected character '") + c + "'";
+    return false;
+  }
+  push(TokKind::kEnd, static_cast<u32>(n + 1));
+  return true;
+}
+
+} // namespace majc::masm

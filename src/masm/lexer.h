@@ -1,0 +1,43 @@
+// Line-oriented lexer for MAJC assembly source.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/types.h"
+
+namespace majc::masm {
+
+enum class TokKind : u8 {
+  kIdent,    // mnemonics, labels, symbols, register names (incl. dotted
+             // suffixed mnemonics like "ldw.nc")
+  kNumber,   // integer literal (value in Token::ival)
+  kFloat,    // floating literal (value in Token::fval)
+  kComma,
+  kPipe,     // slot separator '|'
+  kColon,
+  kPercent,  // %hi / %lo marker
+  kLParen,
+  kRParen,
+  kDirective, // ".word" etc. (leading dot followed by ident)
+  kString,    // "..." literal with \n \t \0 \\ \" escapes (text holds the
+              // decoded bytes)
+  kEnd,       // end of line (also after a ';;' packet terminator)
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // identifier / directive spelling (without the dot)
+  i64 ival = 0;
+  double fval = 0.0;
+  u32 column = 0;
+};
+
+/// Tokenize one source line. Comments start with '#' or "//" and run to end
+/// of line. The optional packet terminator ";;" is swallowed (one source
+/// line is one packet regardless). Returns false and sets `error` on a
+/// malformed token.
+bool lex_line(std::string_view line, std::vector<Token>& out, std::string& error);
+
+} // namespace majc::masm

@@ -1,0 +1,103 @@
+#include "src/mem/cache.h"
+
+#include "src/support/error.h"
+
+namespace majc::mem {
+
+Cache::Cache(const Config& cfg) : cfg_(cfg) {
+  require(cfg_.line_bytes > 0 && cfg_.ways > 0 && cfg_.bytes > 0,
+          "cache config fields must be positive");
+  require(cfg_.bytes % (cfg_.line_bytes * cfg_.ways) == 0,
+          "cache size must be a multiple of ways * line size");
+  sets_ = cfg_.bytes / (cfg_.line_bytes * cfg_.ways);
+  lines_.resize(static_cast<std::size_t>(sets_) * cfg_.ways);
+  for (u32 s = 0; s < sets_; ++s) {
+    for (u32 w = 0; w < cfg_.ways; ++w) lines_[s * cfg_.ways + w].lru = w;
+  }
+}
+
+void Cache::touch(u32 set, u32 way) {
+  Line* row = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  const u32 old = row[way].lru;
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (row[w].lru < old) ++row[w].lru;
+  }
+  row[way].lru = 0;
+}
+
+Cache::AccessResult Cache::access(Addr addr, bool is_store, bool allocate) {
+  const u64 line = line_of(addr);
+  const u32 set = set_of(line);
+  const u64 tag = tag_of(line);
+  Line* row = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (row[w].valid && row[w].tag == tag) {
+      ++hits_;
+      if (is_store) row[w].dirty = true;
+      touch(set, w);
+      return {.hit = true};
+    }
+  }
+  ++misses_;
+  if (!allocate) return {.hit = false};
+
+  // Choose the LRU way as victim.
+  u32 victim = 0;
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (!row[w].valid) {
+      victim = w;
+      break;
+    }
+    if (row[w].lru > row[victim].lru) victim = w;
+  }
+  AccessResult res;
+  if (row[victim].valid && row[victim].dirty) {
+    res.writeback = true;
+    res.victim_line = (row[victim].tag * sets_ + set) * cfg_.line_bytes;
+    ++writebacks_;
+  }
+  row[victim] = {.tag = tag, .valid = true, .dirty = is_store, .lru = row[victim].lru};
+  touch(set, victim);
+  return res;
+}
+
+bool Cache::probe(Addr addr) const {
+  const u64 line = line_of(addr);
+  const u32 set = set_of(line);
+  const u64 tag = tag_of(line);
+  const Line* row = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (row[w].valid && row[w].tag == tag) return true;
+  }
+  return false;
+}
+
+bool Cache::invalidate(Addr addr) {
+  const u64 line = line_of(addr);
+  const u32 set = set_of(line);
+  const u64 tag = tag_of(line);
+  Line* row = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (row[w].valid && row[w].tag == tag) {
+      const bool dirty = row[w].dirty;
+      row[w].valid = false;
+      row[w].dirty = false;
+      return dirty;
+    }
+  }
+  return false;
+}
+
+void Cache::invalidate_all() {
+  for (Line& l : lines_) {
+    l.valid = false;
+    l.dirty = false;
+  }
+}
+
+void Cache::reset_stats() {
+  hits_ = misses_ = writebacks_ = 0;
+}
+
+} // namespace majc::mem

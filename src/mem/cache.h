@@ -1,0 +1,78 @@
+// Set-associative cache timing model (tags + LRU only).
+//
+// Data always moves through the functional MemoryBus, so the caches track
+// tags purely for timing: hits, misses, write-backs of dirty victims.
+// Instances: one 16 KB 2-way I$ per CPU and the 16 KB 4-way dual-ported
+// write-back D$ shared by both CPUs (paper §3.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/support/stats.h"
+#include "src/support/types.h"
+
+namespace majc::mem {
+
+class Cache {
+public:
+  struct Config {
+    u32 bytes = 16 * 1024;
+    u32 ways = 4;
+    u32 line_bytes = 32;
+    std::string name = "cache";
+  };
+
+  struct AccessResult {
+    bool hit = false;
+    bool writeback = false;  // a dirty victim was evicted
+    Addr victim_line = 0;
+  };
+
+  explicit Cache(const Config& cfg);
+
+  /// Look up `addr`; on a miss, allocate the line (if `allocate`), evicting
+  /// LRU. `is_store` marks the line dirty.
+  AccessResult access(Addr addr, bool is_store, bool allocate = true);
+
+  /// Tag probe with no state change.
+  bool probe(Addr addr) const;
+
+  /// Invalidate a single line if present; returns true if it was dirty.
+  bool invalidate(Addr addr);
+  void invalidate_all();
+
+  u32 sets() const { return sets_; }
+  u32 ways() const { return cfg_.ways; }
+  u64 hits() const { return hits_; }
+  u64 misses() const { return misses_; }
+  u64 writebacks() const { return writebacks_; }
+  double hit_rate() const {
+    const u64 total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  const Config& config() const { return cfg_; }
+  void reset_stats();
+
+private:
+  struct Line {
+    u64 tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    u32 lru = 0;  // 0 = most recently used
+  };
+
+  u64 line_of(Addr addr) const { return addr / cfg_.line_bytes; }
+  u32 set_of(u64 line) const { return static_cast<u32>(line % sets_); }
+  u64 tag_of(u64 line) const { return line / sets_; }
+  void touch(u32 set, u32 way);
+
+  Config cfg_;
+  u32 sets_;
+  std::vector<Line> lines_;  // sets_ * ways, row-major by set
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  u64 writebacks_ = 0;
+};
+
+} // namespace majc::mem

@@ -1,0 +1,55 @@
+#include "src/mem/crossbar.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace majc::mem {
+
+std::string_view port_name(Port p) {
+  switch (p) {
+    case Port::kCpu0: return "cpu0";
+    case Port::kCpu1: return "cpu1";
+    case Port::kGpp: return "gpp";
+    case Port::kDte: return "dte";
+    case Port::kNupa: return "nupa";
+    case Port::kSupa: return "supa";
+    case Port::kPci: return "pci";
+    case Port::kMem: return "mem";
+    case Port::kCount: break;
+  }
+  return "?";
+}
+
+Crossbar::Crossbar(const TimingConfig& cfg) : hop_(cfg.crossbar_hop) {
+  // Internal agents run at the crossbar's native width (8 bytes/cycle at the
+  // core clock = 4 GB/s per port); external interfaces are capped at their
+  // physical rates (paper §3.1).
+  constexpr double kInternal = 8.0;
+  bandwidth_ = {kInternal, kInternal, kInternal, kInternal,
+                /*nupa=*/4.0, /*supa=*/4.0, cfg.pci_bytes_per_cycle,
+                /*mem=*/kInternal};
+  bandwidth_[static_cast<std::size_t>(Port::kNupa)] = cfg.upa_bytes_per_cycle;
+  bandwidth_[static_cast<std::size_t>(Port::kSupa)] = cfg.upa_bytes_per_cycle;
+}
+
+Cycle Crossbar::transfer(Port src, Port dst, u32 bytes, Cycle now) {
+  auto& src_free = free_[static_cast<std::size_t>(src)];
+  auto& dst_free = free_[static_cast<std::size_t>(dst)];
+  const double bw = std::min(port_bandwidth(src), port_bandwidth(dst));
+  const Cycle start = std::max({now, src_free, dst_free});
+  const auto duration =
+      static_cast<Cycle>(std::ceil(static_cast<double>(bytes) / bw));
+  src_free = start + duration;
+  dst_free = start + duration;
+  bytes_[static_cast<std::size_t>(src)] += bytes;
+  bytes_[static_cast<std::size_t>(dst)] += bytes;
+  ++transfers_;
+  return start + hop_ + duration;
+}
+
+void Crossbar::reset_stats() {
+  bytes_.fill(0);
+  transfers_ = 0;
+}
+
+} // namespace majc::mem

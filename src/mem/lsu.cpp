@@ -1,0 +1,249 @@
+#include "src/mem/lsu.h"
+
+#include <algorithm>
+
+namespace majc::mem {
+
+using sim::MemAccess;
+
+Lsu::Lsu(const TimingConfig& cfg, Cache& dcache, Dram& dram, Crossbar& xbar,
+         Port port, Cycle* dcache_port_free)
+    : cfg_(cfg),
+      dcache_(dcache),
+      dram_(dram),
+      xbar_(xbar),
+      port_(port),
+      dport_free_(dcache_port_free) {}
+
+void Lsu::prune(Cycle now) {
+  std::erase_if(loads_, [now](Cycle c) { return c <= now; });
+  std::erase_if(stores_, [now](const StoreEntry& s) { return s.done <= now; });
+  std::erase_if(mshr_, [now](const auto& kv) { return kv.second <= now; });
+}
+
+Cycle Lsu::fill_line(Addr addr, Cycle now) {
+  const Addr line = addr & ~Addr{cfg_.line_bytes - 1};
+  const Cycle at_mem = xbar_.transfer(port_, Port::kMem, 0, now);
+  const Cycle dram_done = dram_.request(line, cfg_.line_bytes, at_mem);
+  // Return path for the line through the crossbar.
+  return xbar_.transfer(Port::kMem, port_, cfg_.line_bytes, dram_done);
+}
+
+Cycle Lsu::mshr_ready(Cycle now) {
+  if (mshr_.size() < cfg_.mshrs) return now;
+  Cycle earliest = ~Cycle{0};
+  for (const auto& [line, done] : mshr_) earliest = std::min(earliest, done);
+  return std::max(now, earliest);
+}
+
+Cycle Lsu::cached_access(Addr addr, u32 bytes, bool is_store, bool allocate,
+                         Cycle now) {
+  (void)bytes;
+  // A fill already in flight for this line? Attach to it (miss merge).
+  const Addr line = addr & ~Addr{cfg_.line_bytes - 1};
+  if (auto it = mshr_.find(line); it != mshr_.end() && it->second > now) {
+    counters_.add("mshr_merges");
+    // Mark the line present for subsequent accesses.
+    dcache_.access(addr, is_store, allocate);
+    return it->second;
+  }
+  const Cache::AccessResult res = dcache_.access(addr, is_store, allocate);
+  if (res.hit) return now;
+
+  counters_.add(is_store ? "store_misses" : "load_misses");
+  const Cycle start = mshr_ready(now);
+  if (start > now) counters_.add("mshr_full_stalls", start - now);
+  // Entries that retire by `start` free their slots for this miss.
+  std::erase_if(mshr_, [start](const auto& kv) { return kv.second <= start; });
+  const Cycle done = fill_line(line, start);
+  if (allocate && mshr_.size() < cfg_.mshrs) mshr_.emplace(line, done);
+  if (res.writeback) {
+    // Victim write-back: consumes channel bandwidth but nobody waits on it.
+    const Cycle at_mem = xbar_.transfer(port_, Port::kMem, cfg_.line_bytes, done);
+    dram_.request(res.victim_line, cfg_.line_bytes, at_mem);
+  }
+  return done;
+}
+
+Lsu::IssueResult Lsu::issue(const MemAccess& acc, Cycle now) {
+  prune(now);
+  IssueResult out{now, now};
+
+  if (cfg_.perfect_dcache) {
+    out.data_ready = now + cfg_.load_to_use;
+    return out;
+  }
+  if (!cfg_.nonblocking_loads && blocked_until_ > now) {
+    out.issue_at = blocked_until_;
+    counters_.add("blocking_stalls", blocked_until_ - now);
+    now = blocked_until_;
+    prune(now);
+  }
+  // Single-ported D$ ablation: cached accesses from both CPUs serialize on
+  // the one port.
+  if (dport_free_ != nullptr && acc.attr != 1 &&
+      (acc.kind == MemAccess::Kind::kLoad ||
+       acc.kind == MemAccess::Kind::kStore ||
+       acc.kind == MemAccess::Kind::kAtomic)) {
+    if (*dport_free_ > now) {
+      counters_.add("dport_conflicts", *dport_free_ - now);
+      out.issue_at = *dport_free_;
+      now = *dport_free_;
+      prune(now);
+    }
+    *dport_free_ = now + 1;
+  }
+
+  switch (acc.kind) {
+    case MemAccess::Kind::kLoad: {
+      // Load buffer capacity (5 entries).
+      if (loads_.size() >= cfg_.load_buffers) {
+        const Cycle slot = *std::min_element(loads_.begin(), loads_.end());
+        counters_.add("load_buffer_stalls", slot > now ? slot - now : 0);
+        out.issue_at = std::max(now, slot);
+        now = out.issue_at;
+        prune(now);
+      }
+      // Store-to-load forwarding from the store buffer.
+      for (const StoreEntry& s : stores_) {
+        if (s.addr <= acc.addr && acc.addr + acc.bytes <= s.addr + s.bytes) {
+          counters_.add("store_forwards");
+          out.data_ready = now + 1;
+          loads_.push_back(out.data_ready);
+          return out;
+        }
+      }
+      Cycle ready;
+      if (acc.attr == 1) {  // non-cached: straight to memory
+        const Cycle at_mem = xbar_.transfer(port_, Port::kMem, 0, now);
+        ready = xbar_.transfer(Port::kMem, port_,
+                               std::max(acc.bytes, 4u),
+                               dram_.request(acc.addr, acc.bytes, at_mem));
+      } else {
+        const bool allocate = acc.attr != 2;  // non-allocating loads don't fill
+        ready = cached_access(acc.addr, acc.bytes, /*is_store=*/false, allocate,
+                              now) +
+                cfg_.load_to_use;
+      }
+      out.data_ready = ready;
+      loads_.push_back(ready);
+      if (!cfg_.nonblocking_loads && ready > now + cfg_.load_to_use) {
+        blocked_until_ = ready;
+      }
+      counters_.add("loads");
+      return out;
+    }
+    case MemAccess::Kind::kStore: {
+      if (stores_.size() >= cfg_.store_buffers) {
+        Cycle slot = stores_.front().done;
+        for (const StoreEntry& s : stores_) slot = std::min(slot, s.done);
+        counters_.add("store_buffer_stalls", slot > now ? slot - now : 0);
+        out.issue_at = std::max(now, slot);
+        now = out.issue_at;
+        prune(now);
+      }
+      Cycle done;
+      if (acc.attr == 1) {  // non-cached: straight to memory
+        done = xbar_.transfer(port_, Port::kMem, acc.bytes,
+                              dram_.request(acc.addr, acc.bytes, now));
+      } else if (acc.attr == 2 && !dcache_.probe(acc.addr)) {
+        // Non-allocating store miss: no read-for-ownership — stores combine
+        // in a small buffer of open lines and each touched line is written
+        // out once.
+        const Addr line = acc.addr & ~Addr{cfg_.line_bytes - 1};
+        bool open = false;
+        WcEntry* victim = &wc_[0];
+        for (WcEntry& e : wc_) {
+          if (e.line == line) {
+            open = true;
+            break;
+          }
+          if (e.opened < victim->opened) victim = &e;
+        }
+        if (!open) {
+          const Cycle at_mem =
+              xbar_.transfer(port_, Port::kMem, cfg_.line_bytes, now);
+          wc_done_ = std::max(wc_done_,
+                              dram_.request(line, cfg_.line_bytes, at_mem));
+          victim->line = line;
+          victim->opened = now;
+          counters_.add("wc_lines");
+        }
+        // The store retires into the combining buffer immediately; the line
+        // write drains in the background (tracked for membar via drain()).
+        done = now + 1;
+        counters_.add("wc_stores");
+      } else {
+        done = cached_access(acc.addr, acc.bytes, /*is_store=*/true,
+                             acc.attr != 2, now) +
+               1;
+      }
+      stores_.push_back({acc.addr, acc.bytes, done});
+      out.data_ready = done;
+      counters_.add("stores");
+      return out;
+    }
+    case MemAccess::Kind::kAtomic: {
+      // Atomics serialize: drain buffered stores first, then perform a
+      // read-modify-write through the D$.
+      const Cycle start = drain(now);
+      const Cycle done =
+          cached_access(acc.addr, acc.bytes, /*is_store=*/true, true, start) +
+          cfg_.load_to_use;
+      out.issue_at = start;
+      out.data_ready = done;
+      loads_.push_back(done);
+      counters_.add("atomics");
+      return out;
+    }
+    case MemAccess::Kind::kPrefetch: {
+      if (!cfg_.prefetch_enabled) return out;
+      if (dcache_.probe(acc.addr)) return out;
+      const Addr line = acc.addr & ~Addr{cfg_.line_bytes - 1};
+      if (mshr_.count(line)) return out;  // fill already in flight
+      // "Non-faulting prefetch instructions ... are also queued in LSU"
+      // (paper §3.2): when all four miss slots are busy the prefetch waits
+      // in the queue and launches as the oldest outstanding fill retires.
+      Cycle start = now;
+      if (mshr_.size() >= cfg_.mshrs) {
+        auto oldest = mshr_.begin();
+        for (auto it = mshr_.begin(); it != mshr_.end(); ++it) {
+          if (it->second < oldest->second) oldest = it;
+        }
+        start = std::max(now, oldest->second);
+        // The queue is finite: refuse to book fills more than ~0.5k cycles
+        // ahead of real time (non-faulting prefetches are discardable).
+        if (start > now + 512) {
+          counters_.add("prefetches_dropped");
+          return out;
+        }
+        mshr_.erase(oldest);
+        counters_.add("prefetches_queued");
+      }
+      const Cycle done = fill_line(line, start);
+      mshr_.emplace(line, done);
+      dcache_.access(acc.addr, /*is_store=*/false, /*allocate=*/true);
+      counters_.add("prefetches");
+      return out;
+    }
+    case MemAccess::Kind::kMembar: {
+      out.issue_at = drain(now);
+      out.data_ready = out.issue_at;
+      counters_.add("membars");
+      return out;
+    }
+    case MemAccess::Kind::kNone:
+      return out;
+  }
+  return out;
+}
+
+Cycle Lsu::drain(Cycle now) {
+  Cycle done = std::max(now, wc_done_);
+  for (Cycle c : loads_) done = std::max(done, c);
+  for (const StoreEntry& s : stores_) done = std::max(done, s.done);
+  for (const auto& [line, c] : mshr_) done = std::max(done, c);
+  return done;
+}
+
+} // namespace majc::mem

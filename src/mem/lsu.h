@@ -1,0 +1,89 @@
+// Load/Store Unit timing model.
+//
+// Each CPU's LSU (paper §3.2) "aggressively implements a non-blocking memory
+// subsystem": buffering for 5 loads and 8 stores, up to 4 cache misses
+// outstanding without blocking execution, out-of-order data returns, a
+// queue for non-faulting 32-byte block prefetches, and memory-barrier /
+// atomic support for inter-CPU synchronization through the shared D$.
+//
+// The model tracks completion times of buffered operations. A new operation
+// stalls only when its buffer class is full (or, in the blocking-load
+// ablation, whenever a miss is pending). Misses to a line already being
+// filled attach to the existing fill (MSHR merge), which is what makes the
+// 4-MSHR limit meaningful for streaming kernels.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/mem/cache.h"
+#include "src/mem/crossbar.h"
+#include "src/mem/dram.h"
+#include "src/sim/exec.h"
+#include "src/soc/config.h"
+#include "src/support/stats.h"
+
+namespace majc::mem {
+
+class Lsu {
+public:
+  struct IssueResult {
+    Cycle issue_at = 0;    // when the op leaves the pipe (>= now if stalled)
+    Cycle data_ready = 0;  // loads/atomics: when the value can be consumed
+  };
+
+  /// `dcache_port_free`, when non-null, is a shared arbitration clock for
+  /// the single-ported-D$ ablation: both CPUs' cached accesses serialize on
+  /// it. With the paper's dual-ported D$ each CPU has its own port and the
+  /// pointer is null.
+  Lsu(const TimingConfig& cfg, Cache& dcache, Dram& dram, Crossbar& xbar,
+      Port port, Cycle* dcache_port_free = nullptr);
+
+  /// Issue one memory operation reaching the LSU at cycle `now`.
+  IssueResult issue(const sim::MemAccess& acc, Cycle now);
+
+  /// Memory barrier: cycle at which all outstanding operations complete.
+  Cycle drain(Cycle now);
+
+  const CounterSet& counters() const { return counters_; }
+  void reset_stats() { counters_.clear(); }
+
+private:
+  struct StoreEntry {
+    Addr addr = 0;
+    u32 bytes = 0;
+    Cycle done = 0;
+  };
+
+  /// Fetch a line from memory through the crossbar; returns fill-done cycle.
+  Cycle fill_line(Addr addr, Cycle now);
+  /// Cache lookup + miss handling for a cached access.
+  Cycle cached_access(Addr addr, u32 bytes, bool is_store, bool allocate,
+                      Cycle now);
+  Cycle mshr_ready(Cycle now);
+  void prune(Cycle now);
+
+  const TimingConfig& cfg_;
+  Cache& dcache_;
+  Dram& dram_;
+  Crossbar& xbar_;
+  Port port_;
+  Cycle* dport_free_ = nullptr;
+
+  std::vector<Cycle> loads_;        // completion times of buffered loads
+  std::vector<StoreEntry> stores_;  // buffered stores (for forwarding)
+  std::unordered_map<Addr, Cycle> mshr_;  // line addr -> fill done
+  Cycle blocked_until_ = 0;         // blocking-load ablation
+  // Write-combining buffer for non-allocating (.na) store misses: four
+  // open lines so interleaved output streams still combine; one line
+  // transfer per touched line instead of a read-for-ownership fill.
+  struct WcEntry {
+    Addr line = ~Addr{0};
+    Cycle opened = 0;
+  };
+  std::array<WcEntry, 4> wc_{};
+  Cycle wc_done_ = 0;
+  CounterSet counters_;
+};
+
+} // namespace majc::mem

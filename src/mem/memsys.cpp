@@ -1,0 +1,48 @@
+#include "src/mem/memsys.h"
+
+namespace majc::mem {
+
+MemorySystem::MemorySystem(const TimingConfig& cfg)
+    : cfg_(cfg),
+      xbar_(cfg_),
+      dram_(cfg_),
+      dcache_({cfg_.dcache_bytes, cfg_.dcache_ways, cfg_.line_bytes, "dcache"}),
+      icaches_{Cache{{cfg_.icache_bytes, cfg_.icache_ways, cfg_.line_bytes,
+                      "icache0"}},
+               Cache{{cfg_.icache_bytes, cfg_.icache_ways, cfg_.line_bytes,
+                      "icache1"}}} {
+  Cycle* shared_port = cfg_.dcache_dual_ported ? nullptr : &dport_free_;
+  lsus_[0] = std::make_unique<Lsu>(cfg_, dcache_, dram_, xbar_, Port::kCpu0,
+                                   shared_port);
+  lsus_[1] = std::make_unique<Lsu>(cfg_, dcache_, dram_, xbar_, Port::kCpu1,
+                                   shared_port);
+}
+
+Cycle MemorySystem::ifetch(u32 cpu, Addr addr, u32 bytes, Cycle now) {
+  if (cfg_.perfect_icache) return now;
+  Cache& ic = icaches_[cpu];
+  const Port port = cpu == 0 ? Port::kCpu0 : Port::kCpu1;
+  const Addr first = addr & ~Addr{cfg_.line_bytes - 1};
+  const Addr last = (addr + bytes - 1) & ~Addr{cfg_.line_bytes - 1};
+  Cycle ready = now;
+  for (Addr line = first; line <= last; line += cfg_.line_bytes) {
+    if (!ic.access(line, /*is_store=*/false).hit) {
+      const Cycle at_mem = xbar_.transfer(port, Port::kMem, 0, now);
+      const Cycle dram_done = dram_.request(line, cfg_.line_bytes, at_mem);
+      ready = std::max(ready,
+                       xbar_.transfer(Port::kMem, port, cfg_.line_bytes,
+                                      dram_done));
+    }
+  }
+  return ready;
+}
+
+void MemorySystem::reset_stats() {
+  xbar_.reset_stats();
+  dram_.reset_stats();
+  dcache_.reset_stats();
+  for (auto& ic : icaches_) ic.reset_stats();
+  for (auto& l : lsus_) l->reset_stats();
+}
+
+} // namespace majc::mem

@@ -1,0 +1,49 @@
+// Chip-level memory system: shared D$, per-CPU I$ and LSU, DRDRAM, crossbar.
+//
+// Both CPUs share the coherent, dual-ported 16 KB 4-way D$ (paper §3.1),
+// which is what gives MAJC-5200 its "very low overhead communication between
+// the two CPUs". Instruction fetch misses and data misses compete for the
+// same DRDRAM channel through the crossbar, as do the DMA agents (DTE, GPP,
+// UPA ports) modelled in src/soc.
+#pragma once
+
+#include <memory>
+
+#include "src/mem/cache.h"
+#include "src/mem/crossbar.h"
+#include "src/mem/dram.h"
+#include "src/mem/lsu.h"
+#include "src/soc/config.h"
+
+namespace majc::mem {
+
+inline constexpr u32 kNumCpus = 2;
+
+class MemorySystem {
+public:
+  explicit MemorySystem(const TimingConfig& cfg);
+
+  Lsu& lsu(u32 cpu) { return *lsus_[cpu]; }
+  Cache& dcache() { return dcache_; }
+  Cache& icache(u32 cpu) { return icaches_[cpu]; }
+  Dram& dram() { return dram_; }
+  Crossbar& xbar() { return xbar_; }
+  const TimingConfig& config() const { return cfg_; }
+
+  /// Instruction fetch of `bytes` at `addr` for CPU `cpu`; returns the cycle
+  /// the packet is available to the aligner.
+  Cycle ifetch(u32 cpu, Addr addr, u32 bytes, Cycle now);
+
+  void reset_stats();
+
+private:
+  TimingConfig cfg_;
+  Crossbar xbar_;
+  Dram dram_;
+  Cache dcache_;
+  std::array<Cache, kNumCpus> icaches_;
+  Cycle dport_free_ = 0;  // single-port D$ arbitration (ablation)
+  std::array<std::unique_ptr<Lsu>, kNumCpus> lsus_;
+};
+
+} // namespace majc::mem

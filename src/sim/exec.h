@@ -1,0 +1,102 @@
+// Packet execution: the instruction-accurate semantics of every opcode.
+//
+// A packet executes with parallel read semantics: all slots read their
+// operands from the pre-packet register state, then all register writes
+// commit together (the VLIW contract; only one slot, FU0, touches memory,
+// so memory effects need no ordering within a packet).
+//
+// The same executor backs both the functional simulator and the
+// cycle-accurate model, which layers timing on top of the returned
+// PacketOutcome, so timed runs compute bit-identical results.
+#pragma once
+
+#include <functional>
+
+#include "src/isa/encoding.h"
+#include "src/sim/memory.h"
+#include "src/sim/state.h"
+#include "src/support/inline_vec.h"
+
+namespace majc::sim {
+
+struct WriteBack {
+  isa::PhysReg reg = 0;
+  u32 value = 0;
+};
+
+/// The single memory operation a packet may perform (FU0 slot), described
+/// for the benefit of the LSU / cache timing model.
+struct MemAccess {
+  enum class Kind : u8 { kNone, kLoad, kStore, kAtomic, kPrefetch, kMembar };
+  Kind kind = Kind::kNone;
+  Addr addr = 0;
+  u32 bytes = 0;
+  u8 attr = 0;  // cache attribute: 0 cached, 1 non-cached, 2 non-allocating
+};
+
+/// Console trap codes (the model's printf substitute for tests/examples).
+enum class TrapCode : u32 {
+  kPrintInt = 0,
+  kPrintChar = 1,
+  kPrintHex = 2,
+  kPrintFloat = 3,
+};
+
+/// Environment a packet executes in.
+struct ExecEnv {
+  explicit ExecEnv(MemoryBus& m) : mem(m) {}
+
+  MemoryBus& mem;
+  u32 cpu_id = 0;
+  u32 thread_id = 0;  // vertical-microthreading context id (GETTID)
+  /// Called for TRAP instructions with (code, value of rs1).
+  std::function<void(u32, u32)> trap;
+  /// GETTICK source; packet count in the functional sim, cycle count in the
+  /// cycle-accurate model. May be empty (GETTICK then reads 0).
+  std::function<u64()> tick;
+
+  // Set by the driver before each packet.
+  Addr packet_pc = 0;
+  Addr fall_through = 0;
+};
+
+/// Per-slot side effects gathered before commit.
+struct SlotEffects {
+  InlineVec<WriteBack, 8> writes;  // up to 8 for group loads
+  MemAccess mem;
+  bool is_cond_branch = false;
+  bool branch_taken = false;
+  bool is_call = false;
+  bool is_jump = false;
+  bool halt = false;
+  Addr target = 0;
+};
+
+/// What the driver reports about one executed packet.
+struct PacketOutcome {
+  u32 width = 0;
+  Addr next_pc = 0;
+  bool is_cond_branch = false;
+  bool branch_taken = false;
+  bool is_call = false;
+  bool is_jump = false;
+  bool halted = false;
+  MemAccess mem;
+};
+
+// Per-class slot executors (internal; dispatched by execute_packet).
+void exec_alu(const isa::Instr& in, u32 fu, const CpuState& st, SlotEffects& fx);
+void exec_muldiv(const isa::Instr& in, u32 fu, const CpuState& st, SlotEffects& fx);
+void exec_simd(const isa::Instr& in, u32 fu, const CpuState& st, SlotEffects& fx);
+void exec_fp32(const isa::Instr& in, u32 fu, const CpuState& st, SlotEffects& fx);
+void exec_fp64(const isa::Instr& in, u32 fu, const CpuState& st, SlotEffects& fx);
+void exec_mem_op(const isa::Instr& in, u32 fu, const CpuState& st, ExecEnv& env,
+                 SlotEffects& fx);
+void exec_control(const isa::Instr& in, u32 fu, const CpuState& st,
+                  ExecEnv& env, SlotEffects& fx);
+
+/// Execute the packet at st.pc (which must equal the packet's address);
+/// commits register writes, performs memory effects and advances st.pc.
+PacketOutcome execute_packet(CpuState& st, const isa::Packet& p, ExecEnv& env);
+
+} // namespace majc::sim

@@ -1,0 +1,258 @@
+// Memory operation and control-flow semantics (both FU0-only classes).
+#include "src/sim/exec.h"
+
+namespace majc::sim {
+namespace {
+
+using isa::Instr;
+using isa::Op;
+
+Addr effective_address(const Instr& in, u32 fu, const CpuState& st) {
+  const u32 base = st.reads(in.rs1, fu);
+  if (in.info().form == isa::Form::kI) {
+    return static_cast<Addr>(base + static_cast<u32>(in.imm));
+  }
+  return static_cast<Addr>(base + st.reads(in.rs2, fu));
+}
+
+void note_access(SlotEffects& fx, MemAccess::Kind kind, Addr addr, u32 bytes,
+                 u8 attr) {
+  fx.mem.kind = kind;
+  fx.mem.addr = addr;
+  fx.mem.bytes = bytes;
+  fx.mem.attr = attr;
+}
+
+} // namespace
+
+void exec_mem_op(const Instr& in, u32 fu, const CpuState& st, ExecEnv& env,
+                 SlotEffects& fx) {
+  const isa::PhysReg rd = isa::to_phys(in.rd, fu);
+  switch (in.op) {
+    case Op::kLdb:
+    case Op::kLdbi: {
+      const Addr a = effective_address(in, fu, st);
+      fx.writes.push_back({rd, static_cast<u32>(static_cast<i32>(
+                                   static_cast<i8>(env.mem.read_u8(a))))});
+      note_access(fx, MemAccess::Kind::kLoad, a, 1, in.sub);
+      break;
+    }
+    case Op::kLdbu:
+    case Op::kLdbui: {
+      const Addr a = effective_address(in, fu, st);
+      fx.writes.push_back({rd, env.mem.read_u8(a)});
+      note_access(fx, MemAccess::Kind::kLoad, a, 1, in.sub);
+      break;
+    }
+    case Op::kLdh:
+    case Op::kLdhi: {
+      const Addr a = effective_address(in, fu, st);
+      fx.writes.push_back({rd, static_cast<u32>(static_cast<i32>(
+                                   static_cast<i16>(env.mem.read_u16(a))))});
+      note_access(fx, MemAccess::Kind::kLoad, a, 2, in.sub);
+      break;
+    }
+    case Op::kLdhu:
+    case Op::kLdhui: {
+      const Addr a = effective_address(in, fu, st);
+      fx.writes.push_back({rd, env.mem.read_u16(a)});
+      note_access(fx, MemAccess::Kind::kLoad, a, 2, in.sub);
+      break;
+    }
+    case Op::kLdw:
+    case Op::kLdwi: {
+      const Addr a = effective_address(in, fu, st);
+      fx.writes.push_back({rd, env.mem.read_u32(a)});
+      note_access(fx, MemAccess::Kind::kLoad, a, 4, in.sub);
+      break;
+    }
+    case Op::kLdl:
+    case Op::kLdli: {
+      const Addr a = effective_address(in, fu, st);
+      const u64 v = env.mem.read_u64(a);
+      fx.writes.push_back({rd, static_cast<u32>(v >> 32)});
+      fx.writes.push_back(
+          {static_cast<isa::PhysReg>(rd + 1), static_cast<u32>(v)});
+      note_access(fx, MemAccess::Kind::kLoad, a, 8, in.sub);
+      break;
+    }
+    case Op::kLdg:
+    case Op::kLdgi: {
+      const Addr a = effective_address(in, fu, st);
+      for (u32 i = 0; i < 8; ++i) {
+        fx.writes.push_back({static_cast<isa::PhysReg>(rd + i),
+                             env.mem.read_u32(a + 4 * i)});
+      }
+      note_access(fx, MemAccess::Kind::kLoad, a, 32, in.sub);
+      break;
+    }
+    case Op::kStb:
+    case Op::kStbi: {
+      const Addr a = effective_address(in, fu, st);
+      env.mem.write_u8(a, static_cast<u8>(st.read(rd)));
+      note_access(fx, MemAccess::Kind::kStore, a, 1, in.sub);
+      break;
+    }
+    case Op::kSth:
+    case Op::kSthi: {
+      const Addr a = effective_address(in, fu, st);
+      env.mem.write_u16(a, static_cast<u16>(st.read(rd)));
+      note_access(fx, MemAccess::Kind::kStore, a, 2, in.sub);
+      break;
+    }
+    case Op::kStw:
+    case Op::kStwi: {
+      const Addr a = effective_address(in, fu, st);
+      env.mem.write_u32(a, st.read(rd));
+      note_access(fx, MemAccess::Kind::kStore, a, 4, in.sub);
+      break;
+    }
+    case Op::kStl:
+    case Op::kStli: {
+      const Addr a = effective_address(in, fu, st);
+      env.mem.write_u64(a, st.read_pair(in.rd, fu));
+      note_access(fx, MemAccess::Kind::kStore, a, 8, in.sub);
+      break;
+    }
+    case Op::kStg:
+    case Op::kStgi: {
+      const Addr a = effective_address(in, fu, st);
+      for (u32 i = 0; i < 8; ++i) {
+        env.mem.write_u32(a + 4 * i,
+                          st.read(static_cast<isa::PhysReg>(rd + i)));
+      }
+      note_access(fx, MemAccess::Kind::kStore, a, 32, in.sub);
+      break;
+    }
+    case Op::kStcw: {
+      // Conditional (predicated) store: store rd at [rs1] if rs2 != 0.
+      const Addr a = static_cast<Addr>(st.reads(in.rs1, fu));
+      if (st.reads(in.rs2, fu) != 0) {
+        env.mem.write_u32(a, st.read(rd));
+        note_access(fx, MemAccess::Kind::kStore, a, 4, 0);
+      }
+      break;
+    }
+    case Op::kPref:
+    case Op::kPrefi: {
+      // Non-faulting block prefetch: 32-byte aligned granule (paper §3.2).
+      const Addr a = effective_address(in, fu, st) & ~Addr{kLineBytes - 1};
+      note_access(fx, MemAccess::Kind::kPrefetch, a, kLineBytes, in.sub);
+      break;
+    }
+    case Op::kCas: {
+      // Compare [rs1] with rs2; if equal store rd; rd receives the old value.
+      const Addr a = static_cast<Addr>(st.reads(in.rs1, fu));
+      const u32 old = env.mem.read_u32(a);
+      if (old == st.reads(in.rs2, fu)) {
+        env.mem.write_u32(a, st.read(rd));
+      }
+      fx.writes.push_back({rd, old});
+      note_access(fx, MemAccess::Kind::kAtomic, a, 4, 0);
+      break;
+    }
+    case Op::kSwap: {
+      const Addr a = static_cast<Addr>(st.reads(in.rs1, fu));
+      const u32 old = env.mem.read_u32(a);
+      env.mem.write_u32(a, st.read(rd));
+      fx.writes.push_back({rd, old});
+      note_access(fx, MemAccess::Kind::kAtomic, a, 4, 0);
+      break;
+    }
+    case Op::kMembar:
+      note_access(fx, MemAccess::Kind::kMembar, 0, 0, 0);
+      break;
+    default:
+      fail("exec_mem_op: unexpected opcode");
+  }
+}
+
+void exec_control(const Instr& in, u32 fu, const CpuState& st, ExecEnv& env,
+                  SlotEffects& fx) {
+  switch (in.op) {
+    case Op::kBnz:
+    case Op::kBz: {
+      const u32 cond = st.reads(in.rd, fu);
+      fx.is_cond_branch = true;
+      fx.branch_taken = (in.op == Op::kBnz) ? (cond != 0) : (cond == 0);
+      fx.target = env.packet_pc + static_cast<Addr>(static_cast<i64>(in.imm) * 4);
+      break;
+    }
+    case Op::kCall:
+      fx.is_call = true;
+      fx.target = env.packet_pc + static_cast<Addr>(static_cast<i64>(in.imm) * 4);
+      fx.writes.push_back({isa::to_phys(isa::kLinkReg, fu),
+                           static_cast<u32>(env.fall_through)});
+      break;
+    case Op::kJmpl:
+      fx.is_jump = true;
+      fx.target = static_cast<Addr>(st.reads(in.rs1, fu));
+      fx.writes.push_back(
+          {isa::to_phys(in.rd, fu), static_cast<u32>(env.fall_through)});
+      break;
+    case Op::kHalt:
+      fx.halt = true;
+      break;
+    case Op::kNop:
+      break;
+    case Op::kTrap:
+      if (env.trap) env.trap(static_cast<u32>(in.imm), st.reads(in.rs1, fu));
+      break;
+    case Op::kGetcpu:
+      fx.writes.push_back({isa::to_phys(in.rd, fu), env.cpu_id});
+      break;
+    case Op::kGettid:
+      fx.writes.push_back({isa::to_phys(in.rd, fu), env.thread_id});
+      break;
+    case Op::kGettick:
+      fx.writes.push_back({isa::to_phys(in.rd, fu),
+                           static_cast<u32>(env.tick ? env.tick() : 0)});
+      break;
+    default:
+      fail("exec_control: unexpected opcode");
+  }
+}
+
+PacketOutcome execute_packet(CpuState& st, const isa::Packet& p, ExecEnv& env) {
+  env.packet_pc = st.pc;
+  env.fall_through = st.pc + p.bytes();
+
+  std::array<SlotEffects, isa::kMaxSlots> fx;
+  for (u32 i = 0; i < p.width; ++i) {
+    const isa::Instr& in = p.slot[i];
+    switch (in.info().cls) {
+      case isa::OpClass::kAlu: exec_alu(in, i, st, fx[i]); break;
+      case isa::OpClass::kMulDiv: exec_muldiv(in, i, st, fx[i]); break;
+      case isa::OpClass::kSimd: exec_simd(in, i, st, fx[i]); break;
+      case isa::OpClass::kFp32: exec_fp32(in, i, st, fx[i]); break;
+      case isa::OpClass::kFp64: exec_fp64(in, i, st, fx[i]); break;
+      case isa::OpClass::kMem: exec_mem_op(in, i, st, env, fx[i]); break;
+      case isa::OpClass::kControl: exec_control(in, i, st, env, fx[i]); break;
+    }
+  }
+
+  // Commit register writes after all slots have read their operands.
+  for (u32 i = 0; i < p.width; ++i) {
+    for (const WriteBack& wb : fx[i].writes) st.write(wb.reg, wb.value);
+  }
+
+  PacketOutcome out;
+  out.width = p.width;
+  out.next_pc = env.fall_through;
+  const SlotEffects& f0 = fx[0]; // only FU0 can branch or touch memory
+  out.mem = f0.mem;
+  out.is_cond_branch = f0.is_cond_branch;
+  out.branch_taken = f0.branch_taken;
+  out.is_call = f0.is_call;
+  out.is_jump = f0.is_jump;
+  if (f0.halt) {
+    st.halted = true;
+    out.halted = true;
+  } else if (f0.is_call || f0.is_jump || (f0.is_cond_branch && f0.branch_taken)) {
+    out.next_pc = f0.target;
+  }
+  st.pc = out.next_pc;
+  return out;
+}
+
+} // namespace majc::sim

@@ -1,0 +1,86 @@
+#include "src/sim/functional_sim.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "src/support/error.h"
+
+namespace majc::sim {
+
+Program::Program(masm::Image image) : image_(std::move(image)) {
+  std::size_t w = 0;
+  while (w < image_.code.size()) {
+    const isa::Packet p = isa::decode_packet(
+        std::span<const u32>(image_.code).subspan(w));
+    index_.emplace(image_.code_base + w * 4, static_cast<u32>(packets_.size()));
+    packets_.push_back(p);
+    w += p.width;
+  }
+}
+
+const isa::Packet& Program::packet_at(Addr pc) const {
+  auto it = index_.find(pc);
+  if (it == index_.end()) {
+    fail("control transfer to address " + std::to_string(pc) +
+         " which is not a packet boundary");
+  }
+  return packets_[it->second];
+}
+
+void load_image(const masm::Image& img, MemoryBus& mem) {
+  for (std::size_t i = 0; i < img.code.size(); ++i) {
+    mem.write_u32(img.code_base + i * 4, img.code[i]);
+  }
+  if (!img.data.empty()) {
+    mem.write(img.data_base, img.data);
+  }
+}
+
+void FunctionalSim::format_trap(std::string& out, u32 code, u32 value) {
+  char buf[64];
+  switch (static_cast<TrapCode>(code)) {
+    case TrapCode::kPrintInt:
+      std::snprintf(buf, sizeof buf, "%d\n", static_cast<i32>(value));
+      break;
+    case TrapCode::kPrintChar:
+      buf[0] = static_cast<char>(value);
+      buf[1] = '\0';
+      break;
+    case TrapCode::kPrintHex:
+      std::snprintf(buf, sizeof buf, "0x%08x\n", value);
+      break;
+    case TrapCode::kPrintFloat:
+      std::snprintf(buf, sizeof buf, "%g\n", std::bit_cast<float>(value));
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "trap(%u,%u)\n", code, value);
+      break;
+  }
+  out += buf;
+}
+
+FunctionalSim::FunctionalSim(masm::Image image, std::size_t mem_bytes)
+    : program_(std::move(image)), mem_(mem_bytes) {
+  load_image(program_.image(), mem_);
+  state_.pc = program_.image().entry;
+  // Conventional stack pointer: top of memory, 64-byte aligned headroom.
+  state_.regs[2] = static_cast<u32>(mem_.size() - 64);
+}
+
+RunResult FunctionalSim::run(u64 max_packets) {
+  RunResult res;
+  ExecEnv env{mem_};
+  env.trap = [this](u32 code, u32 value) { format_trap(console_, code, value); };
+  env.tick = [this] { return packets_run_; };
+  while (!state_.halted && res.packets < max_packets) {
+    const isa::Packet& p = program_.packet_at(state_.pc);
+    const PacketOutcome out = execute_packet(state_, p, env);
+    ++res.packets;
+    ++packets_run_;
+    res.instrs += out.width;
+  }
+  res.halted = state_.halted;
+  return res;
+}
+
+} // namespace majc::sim

@@ -1,0 +1,71 @@
+// Instruction-accurate MAJC simulator.
+//
+// The paper's own performance numbers come from "instruction accurate and
+// cycle accurate simulators" (§5); this is the former. It pre-decodes a
+// program image, executes packets with full architectural semantics, and
+// records trap (console) output. The cycle-accurate model (src/cpu) reuses
+// Program and the executor so both agree bit-for-bit on results.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/masm/image.h"
+#include "src/sim/exec.h"
+
+namespace majc::sim {
+
+/// Pre-decoded code image. Packets are addressable only at their start; a
+/// control transfer into the middle of a packet is a model fault.
+class Program {
+public:
+  explicit Program(masm::Image image);
+
+  bool has_packet(Addr pc) const { return index_.count(pc) != 0; }
+  const isa::Packet& packet_at(Addr pc) const;
+  std::size_t num_packets() const { return packets_.size(); }
+  const masm::Image& image() const { return image_; }
+
+private:
+  masm::Image image_;
+  std::vector<isa::Packet> packets_;
+  std::unordered_map<Addr, u32> index_;
+};
+
+/// Copy the image's code and data sections into memory.
+void load_image(const masm::Image& img, MemoryBus& mem);
+
+struct RunResult {
+  u64 packets = 0;
+  u64 instrs = 0;
+  bool halted = false;
+};
+
+class FunctionalSim {
+public:
+  explicit FunctionalSim(masm::Image image,
+                         std::size_t mem_bytes = FlatMemory::kDefaultBytes);
+
+  /// Execute until HALT or `max_packets` packets.
+  RunResult run(u64 max_packets = 100'000'000);
+
+  CpuState& state() { return state_; }
+  FlatMemory& memory() { return mem_; }
+  const Program& program() const { return program_; }
+  /// Output accumulated from TRAP (print) instructions.
+  const std::string& console() const { return console_; }
+
+  /// Format one trap according to TrapCode; shared with the SoC model so
+  /// functional and timed runs produce identical console text.
+  static void format_trap(std::string& out, u32 code, u32 value);
+
+private:
+  Program program_;
+  FlatMemory mem_;
+  CpuState state_;
+  std::string console_;
+  u64 packets_run_ = 0;
+};
+
+} // namespace majc::sim

@@ -1,0 +1,88 @@
+#include "src/sim/memory.h"
+
+#include <cstring>
+#include <string>
+
+#include "src/support/error.h"
+
+namespace majc::sim {
+namespace {
+
+void check_align(Addr a, std::size_t n) {
+  if (n > 1 && (a % n) != 0) {
+    fail("misaligned " + std::to_string(n) + "-byte access at address " +
+         std::to_string(a));
+  }
+}
+
+} // namespace
+
+u8 MemoryBus::read_u8(Addr a) {
+  u8 v;
+  read(a, {&v, 1});
+  return v;
+}
+
+u16 MemoryBus::read_u16(Addr a) {
+  check_align(a, 2);
+  u8 b[2];
+  read(a, b);
+  u16 v;
+  std::memcpy(&v, b, 2);
+  return v;
+}
+
+u32 MemoryBus::read_u32(Addr a) {
+  check_align(a, 4);
+  u8 b[4];
+  read(a, b);
+  u32 v;
+  std::memcpy(&v, b, 4);
+  return v;
+}
+
+u64 MemoryBus::read_u64(Addr a) {
+  check_align(a, 8);
+  u8 b[8];
+  read(a, b);
+  u64 v;
+  std::memcpy(&v, b, 8);
+  return v;
+}
+
+void MemoryBus::write_u8(Addr a, u8 v) { write(a, {&v, 1}); }
+
+void MemoryBus::write_u16(Addr a, u16 v) {
+  check_align(a, 2);
+  u8 b[2];
+  std::memcpy(b, &v, 2);
+  write(a, b);
+}
+
+void MemoryBus::write_u32(Addr a, u32 v) {
+  check_align(a, 4);
+  u8 b[4];
+  std::memcpy(b, &v, 4);
+  write(a, b);
+}
+
+void MemoryBus::write_u64(Addr a, u64 v) {
+  check_align(a, 8);
+  u8 b[8];
+  std::memcpy(b, &v, 8);
+  write(a, b);
+}
+
+void FlatMemory::read(Addr addr, std::span<u8> out) {
+  require(addr + out.size() <= bytes_.size(),
+          "memory read out of bounds at address " + std::to_string(addr));
+  std::memcpy(out.data(), bytes_.data() + addr, out.size());
+}
+
+void FlatMemory::write(Addr addr, std::span<const u8> in) {
+  require(addr + in.size() <= bytes_.size(),
+          "memory write out of bounds at address " + std::to_string(addr));
+  std::memcpy(bytes_.data() + addr, in.data(), in.size());
+}
+
+} // namespace majc::sim

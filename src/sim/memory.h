@@ -1,0 +1,56 @@
+// Byte-addressed memory abstraction used by the functional executor.
+//
+// The functional simulator uses a FlatMemory directly; the cycle-accurate
+// SoC model layers caches / DRDRAM timing on top while funneling actual data
+// through the same interface, so functional and timed runs are guaranteed to
+// compute identical values.
+//
+// The model is little-endian (a host-convenience choice; the paper's
+// benchmarks are endian-agnostic). Accesses must be naturally aligned;
+// misaligned accesses throw majc::Error, standing in for the alignment trap
+// real hardware would raise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/support/types.h"
+
+namespace majc::sim {
+
+class MemoryBus {
+public:
+  virtual ~MemoryBus() = default;
+
+  virtual void read(Addr addr, std::span<u8> out) = 0;
+  virtual void write(Addr addr, std::span<const u8> in) = 0;
+
+  // Typed helpers (little-endian, alignment-checked).
+  u8 read_u8(Addr a);
+  u16 read_u16(Addr a);
+  u32 read_u32(Addr a);
+  u64 read_u64(Addr a);
+  void write_u8(Addr a, u8 v);
+  void write_u16(Addr a, u16 v);
+  void write_u32(Addr a, u32 v);
+  void write_u64(Addr a, u64 v);
+};
+
+/// Simple bounds-checked backing store starting at address 0.
+class FlatMemory final : public MemoryBus {
+public:
+  static constexpr std::size_t kDefaultBytes = 32u << 20;
+
+  explicit FlatMemory(std::size_t bytes = kDefaultBytes) : bytes_(bytes, 0) {}
+
+  void read(Addr addr, std::span<u8> out) override;
+  void write(Addr addr, std::span<const u8> in) override;
+
+  std::size_t size() const { return bytes_.size(); }
+  std::span<u8> raw() { return bytes_; }
+
+private:
+  std::vector<u8> bytes_;
+};
+
+} // namespace majc::sim

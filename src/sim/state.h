@@ -1,0 +1,32 @@
+// Architectural state of one MAJC CPU.
+#pragma once
+
+#include <array>
+
+#include "src/isa/registers.h"
+#include "src/support/types.h"
+
+namespace majc::sim {
+
+struct CpuState {
+  std::array<u32, isa::kNumRegs> regs{};
+  Addr pc = 0;
+  bool halted = false;
+
+  /// Physical-register read; g0 is hardwired zero.
+  u32 read(isa::PhysReg r) const { return r == 0 ? 0 : regs[r]; }
+  void write(isa::PhysReg r, u32 v) {
+    if (r != 0) regs[r] = v;
+  }
+
+  /// Specifier-based access from slot `fu`.
+  u32 reads(isa::RegSpec s, u32 fu) const { return read(isa::to_phys(s, fu)); }
+
+  /// 64-bit pair: even register holds the most significant word.
+  u64 read_pair(isa::RegSpec s, u32 fu) const {
+    const isa::PhysReg p = isa::to_phys(s, fu);
+    return (u64{read(p)} << 32) | read(static_cast<isa::PhysReg>(p + 1));
+  }
+};
+
+} // namespace majc::sim

@@ -1,0 +1,51 @@
+#include "src/soc/chip.h"
+
+#include <algorithm>
+
+namespace majc::soc {
+
+Majc5200::Majc5200(masm::Image image, const TimingConfig& cfg,
+                   std::size_t mem_bytes)
+    : prog_(std::move(image)),
+      mem_(mem_bytes),
+      ms_(cfg),
+      dte_(ms_, mem_),
+      nupa_(ms_, mem_),
+      supa_(ms_, mem_, mem::Port::kSupa),
+      pci_(ms_, mem_, mem::Port::kPci) {
+  sim::load_image(prog_.image(), mem_);
+  for (u32 i = 0; i < kNumCpus; ++i) {
+    cpus_[i] = std::make_unique<cpu::CycleCpu>(prog_, mem_, ms_, i);
+    // Distinct stacks: CPU0 at the top of memory, CPU1 64 KB below.
+    cpus_[i]->state().regs[2] =
+        static_cast<u32>(mem_.size() - 64 - i * (64u << 10));
+  }
+}
+
+void Majc5200::set_entry(u32 cpu, const std::string& symbol) {
+  cpus_[cpu]->state().pc = prog_.image().symbol(symbol);
+}
+
+Majc5200::Result Majc5200::run(u64 max_packets_per_cpu) {
+  Result res;
+  while (true) {
+    // Advance the CPU whose next packet issues earliest in global time.
+    cpu::CycleCpu* next = nullptr;
+    for (auto& c : cpus_) {
+      if (c->halted() || c->stats().packets >= max_packets_per_cpu) continue;
+      if (next == nullptr || c->now() < next->now()) next = c.get();
+    }
+    if (next == nullptr) break;
+    next->step();
+  }
+  res.all_halted = true;
+  for (u32 i = 0; i < kNumCpus; ++i) {
+    res.packets[i] = cpus_[i]->stats().packets;
+    res.instrs[i] = cpus_[i]->stats().instrs;
+    res.cycles = std::max(res.cycles, cpus_[i]->now());
+    res.all_halted = res.all_halted && cpus_[i]->halted();
+  }
+  return res;
+}
+
+} // namespace majc::soc

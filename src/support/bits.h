@@ -1,0 +1,97 @@
+// Bit-manipulation helpers shared by the encoder, decoder and executors.
+#pragma once
+
+#include <bit>
+#include <type_traits>
+
+#include "src/support/error.h"
+#include "src/support/types.h"
+
+namespace majc {
+
+/// Extract bits [lo, lo+len) of `v` (lo counted from bit 0 = LSB).
+constexpr u32 bits(u32 v, unsigned lo, unsigned len) {
+  return (len >= 32) ? (v >> lo) : ((v >> lo) & ((1u << len) - 1u));
+}
+
+constexpr u64 bits64(u64 v, unsigned lo, unsigned len) {
+  return (len >= 64) ? (v >> lo) : ((v >> lo) & ((u64{1} << len) - 1u));
+}
+
+/// Sign-extend the low `len` bits of `v` to a full i32.
+constexpr i32 sign_extend(u32 v, unsigned len) {
+  const unsigned shift = 32 - len;
+  return static_cast<i32>(v << shift) >> shift;
+}
+
+constexpr i64 sign_extend64(u64 v, unsigned len) {
+  const unsigned shift = 64 - len;
+  return static_cast<i64>(v << shift) >> shift;
+}
+
+/// Deposit `field` into bits [lo, lo+len) of a word being assembled.
+constexpr u32 deposit(u32 word, unsigned lo, unsigned len, u32 field) {
+  const u32 mask = ((len >= 32) ? ~0u : ((1u << len) - 1u)) << lo;
+  return (word & ~mask) | ((field << lo) & mask);
+}
+
+/// True if `v` fits in a signed field of `len` bits.
+constexpr bool fits_signed(i64 v, unsigned len) {
+  const i64 lim = i64{1} << (len - 1);
+  return v >= -lim && v < lim;
+}
+
+constexpr bool fits_unsigned(u64 v, unsigned len) {
+  return len >= 64 || v < (u64{1} << len);
+}
+
+/// Count of leading zeros of a 32-bit value; 32 when v == 0.
+/// Semantics of the MAJC LZD (leading-zero detect) instruction.
+constexpr u32 leading_zeros(u32 v) {
+  return static_cast<u32>(std::countl_zero(v));
+}
+
+/// Extract byte `i` (0 = least significant) of a 32-bit value.
+constexpr u8 byte_of(u32 v, unsigned i) { return static_cast<u8>(v >> (8 * i)); }
+
+/// L1 distance between the four packed bytes of `a` and `b`
+/// (the reduction performed by the MAJC PDIST instruction).
+constexpr u32 pixel_distance(u32 a, u32 b) {
+  u32 acc = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    const int d = static_cast<int>(byte_of(a, i)) - static_cast<int>(byte_of(b, i));
+    acc += static_cast<u32>(d < 0 ? -d : d);
+  }
+  return acc;
+}
+
+/// MAJC byte-shuffle: build a 32-bit result from four selected bytes of the
+/// 64-bit source (rs1:rs2, rs1 most significant). Each selector nibble picks
+/// byte 0..7 of the source (0 = most significant byte, matching a
+/// left-to-right reading of the register pair); selector values 8..15 write
+/// a zero byte, which is what makes BSHUF usable for masking byte fields.
+/// Selector nibble i (from the most significant nibble of the low 16 bits of
+/// `sel`) produces result byte i (from the most significant result byte).
+constexpr u32 byte_shuffle(u32 hi, u32 lo, u32 sel) {
+  const u64 src = (u64{hi} << 32) | lo;
+  u32 out = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    const u32 nib = bits(sel, 12 - 4 * i, 4);
+    u8 b = 0;
+    if (nib < 8) b = static_cast<u8>(src >> (56 - 8 * nib));
+    out = (out << 8) | b;
+  }
+  return out;
+}
+
+/// MAJC BEXT: extract a bit field from the 64-bit concatenation rs1:rs1+1
+/// (rs1 most significant). `pos` counts from the MSB (bit 0 = MSB), which is
+/// the natural orientation for parsing a big-endian compressed bit stream.
+/// Fields of length 0 yield 0; pos+len must be <= 64.
+constexpr u32 bitfield_extract(u32 hi, u32 lo, u32 pos, u32 len) {
+  if (len == 0) return 0;
+  const u64 src = (u64{hi} << 32) | lo;
+  return static_cast<u32>(bits64(src, 64 - pos - len, len));
+}
+
+} // namespace majc

@@ -1,0 +1,24 @@
+// Error reporting for the MAJC-5200 model.
+//
+// Programmer/API misuse and unrecoverable model faults throw majc::Error.
+// User-facing input errors (assembler source problems) are reported through
+// masm::Diagnostics instead so callers can collect several at once.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace majc {
+
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& what) { throw Error(what); }
+
+inline void require(bool ok, const std::string& what) {
+  if (!ok) fail(what);
+}
+
+} // namespace majc

@@ -1,0 +1,58 @@
+#include "src/support/fixed_point.h"
+
+#include <algorithm>
+
+namespace majc {
+
+u16 to_fixed(double v, int frac_bits) {
+  const double scaled = v * static_cast<double>(1 << frac_bits);
+  const double rounded = std::nearbyint(scaled);
+  return saturate_lane(static_cast<i64>(std::clamp(rounded, -65536.0, 65536.0)),
+                       SatMode::kSigned16);
+}
+
+double from_fixed(u16 bits, int frac_bits) {
+  return static_cast<double>(static_cast<i16>(bits)) /
+         static_cast<double>(1 << frac_bits);
+}
+
+u16 fx_mul(u16 a, u16 b, int frac_bits, SatMode mode) {
+  const i64 prod = i64{static_cast<i16>(a)} * static_cast<i16>(b);
+  return saturate_lane(prod >> frac_bits, mode);
+}
+
+u16 fx_madd(u16 acc, u16 a, u16 b, int frac_bits, SatMode mode) {
+  const i64 prod = i64{static_cast<i16>(a)} * static_cast<i16>(b);
+  const i64 sum = i64{static_cast<i16>(acc)} + (prod >> frac_bits);
+  return saturate_lane(sum, mode);
+}
+
+i32 fx_mul_s31(u16 a, u16 b) {
+  const i64 prod = i64{static_cast<i16>(a)} * static_cast<i16>(b);
+  return saturate_s31(prod << 1);
+}
+
+u16 fx_div_s213(u16 a, u16 b) {
+  const i32 num = static_cast<i16>(a);
+  const i32 den = static_cast<i16>(b);
+  if (den == 0) {
+    return num < 0 ? 0x8000u : 0x7FFFu;
+  }
+  // Quotient in S2.13: (num << 13) / den, rounded to nearest (ties away
+  // from zero), then clamped to the 16-bit lane.
+  const i64 scaled = i64{num} << kFracS213;
+  i64 q = scaled / den;
+  const i64 rem = scaled % den;
+  if (rem != 0 && std::abs(rem) * 2 >= std::abs(i64{den})) {
+    q += ((num < 0) == (den < 0)) ? 1 : -1;
+  }
+  return saturate_lane(q, SatMode::kSigned16);
+}
+
+u16 fx_rsqrt_s213(u16 a) {
+  const double v = from_fixed(a, kFracS213);
+  if (v <= 0.0) return 0x7FFFu;
+  return to_fixed(1.0 / std::sqrt(v), kFracS213);
+}
+
+} // namespace majc

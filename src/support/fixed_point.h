@@ -1,0 +1,48 @@
+// Fixed-point formats of the MAJC-5200 SIMD unit.
+//
+// The ISA operates on pairs of 16-bit values interpreted as short integers,
+// S.15 (1 sign bit, 15 fraction bits, range [-1, 1)) or S2.13 (1 sign bit,
+// 2 integer bits, 13 fraction bits, range [-4, 4)). Products widen and are
+// renormalized by the format's fraction width. The 6-cycle FU0 SIMD divide
+// and reciprocal-square-root operate on S2.13 (paper §4).
+#pragma once
+
+#include <cmath>
+
+#include "src/support/saturate.h"
+#include "src/support/types.h"
+
+namespace majc {
+
+/// Fraction bit counts for the two SIMD fixed point formats.
+inline constexpr int kFracS15 = 15;
+inline constexpr int kFracS213 = 13;
+
+/// Convert a double to an S.15 / S2.13 bit pattern with saturation.
+u16 to_fixed(double v, int frac_bits);
+/// Convert an S.15 / S2.13 bit pattern to a double.
+double from_fixed(u16 bits, int frac_bits);
+
+/// Fixed point multiply: (a * b) >> frac_bits, then saturate per `mode`.
+/// This is the per-lane semantics of PMULS15 / PMULS213.
+u16 fx_mul(u16 a, u16 b, int frac_bits, SatMode mode);
+
+/// Fixed point multiply-accumulate lane: acc + ((a * b) >> frac_bits),
+/// saturated per `mode` (PMADDS15 / PMADDS213 lane semantics).
+u16 fx_madd(u16 acc, u16 a, u16 b, int frac_bits, SatMode mode);
+
+/// Saturated S.31 product of two S.15 values: (a * b) << 1 clamped to i32
+/// (the paper's "saturated S.31 product of two S.15 quantities").
+i32 fx_mul_s31(u16 a, u16 b);
+
+/// S2.13 lane divide (PDIV213): round-to-nearest quotient in S2.13,
+/// saturated to the 16-bit lane. Division by zero saturates toward the
+/// sign of the dividend (0/0 yields the maximum positive value).
+u16 fx_div_s213(u16 a, u16 b);
+
+/// S2.13 lane reciprocal square root (PRSQRT213). Inputs <= 0 saturate to
+/// the maximum positive S2.13 value (the model's total-function choice for
+/// the mathematically undefined cases).
+u16 fx_rsqrt_s213(u16 a);
+
+} // namespace majc

@@ -1,0 +1,33 @@
+// Fixed-capacity inline vector for hot simulator paths (no heap traffic).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "src/support/error.h"
+
+namespace majc {
+
+template <typename T, std::size_t N>
+class InlineVec {
+public:
+  void push_back(const T& v) {
+    require(size_ < N, "InlineVec overflow");
+    data_[size_++] = v;
+  }
+  void clear() { size_ = 0; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T* begin() { return data_.data(); }
+  T* end() { return data_.data() + size_; }
+  const T* begin() const { return data_.data(); }
+  const T* end() const { return data_.data() + size_; }
+
+private:
+  std::array<T, N> data_{};
+  std::size_t size_ = 0;
+};
+
+} // namespace majc

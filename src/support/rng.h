@@ -1,0 +1,48 @@
+// Deterministic pseudo-random generation for workload/data synthesis.
+//
+// All stimulus in tests and benchmarks is produced from seeded SplitMix64
+// streams so every run of every experiment is bit-reproducible.
+#pragma once
+
+#include "src/support/types.h"
+
+namespace majc {
+
+class SplitMix64 {
+public:
+  explicit constexpr SplitMix64(u64 seed) : state_(seed) {}
+
+  constexpr u64 next() {
+    u64 z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  constexpr u32 next_u32() { return static_cast<u32>(next() >> 32); }
+
+  /// Uniform in [0, bound) without modulo bias for small bounds.
+  constexpr u32 next_below(u32 bound) {
+    return bound == 0 ? 0 : static_cast<u32>((u64{next_u32()} * bound) >> 32);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  constexpr i32 next_range(i32 lo, i32 hi) {
+    return lo + static_cast<i32>(next_below(static_cast<u32>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+private:
+  u64 state_;
+};
+
+} // namespace majc

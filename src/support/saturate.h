@@ -1,0 +1,74 @@
+// Saturation arithmetic helpers.
+//
+// MAJC-5200's SIMD unit supports four saturation modes that can be enabled to
+// automatically clamp results (paper §4). The paper does not enumerate the
+// modes; we model the four that cover the formats the ISA defines:
+//
+//   Wrap       — no saturation, results wrap modulo 2^16 (mode 0)
+//   Signed16   — clamp to [-32768, 32767]; the natural bound for both 16-bit
+//                integers and S.15 / S2.13 fixed point, whose 16-bit
+//                encodings span the full two's-complement range (mode 1)
+//   Unsigned16 — clamp to [0, 65535] (mode 2)
+//   Byte       — clamp to [0, 255]; pixel saturation for video paths (mode 3)
+//
+// The 2-bit sub-opcode field of SIMD instructions selects the mode.
+#pragma once
+
+#include <limits>
+
+#include "src/support/types.h"
+
+namespace majc {
+
+enum class SatMode : u8 {
+  kWrap = 0,
+  kSigned16 = 1,
+  kUnsigned16 = 2,
+  kByte = 3,
+};
+
+/// Clamp a wide intermediate to the selected 16-bit lane format.
+constexpr u16 saturate_lane(i64 v, SatMode mode) {
+  switch (mode) {
+    case SatMode::kWrap:
+      return static_cast<u16>(v);
+    case SatMode::kSigned16:
+      if (v > 32767) v = 32767;
+      if (v < -32768) v = -32768;
+      return static_cast<u16>(static_cast<i16>(v));
+    case SatMode::kUnsigned16:
+      if (v > 65535) v = 65535;
+      if (v < 0) v = 0;
+      return static_cast<u16>(v);
+    case SatMode::kByte:
+      if (v > 255) v = 255;
+      if (v < 0) v = 0;
+      return static_cast<u16>(v);
+  }
+  return static_cast<u16>(v);
+}
+
+/// 32-bit signed saturating add (the scalar SATADD of FU1-3).
+constexpr i32 sat_add32(i32 a, i32 b) {
+  const i64 s = i64{a} + b;
+  if (s > std::numeric_limits<i32>::max()) return std::numeric_limits<i32>::max();
+  if (s < std::numeric_limits<i32>::min()) return std::numeric_limits<i32>::min();
+  return static_cast<i32>(s);
+}
+
+/// 32-bit signed saturating subtract (the scalar SATSUB of FU1-3).
+constexpr i32 sat_sub32(i32 a, i32 b) {
+  const i64 s = i64{a} - b;
+  if (s > std::numeric_limits<i32>::max()) return std::numeric_limits<i32>::max();
+  if (s < std::numeric_limits<i32>::min()) return std::numeric_limits<i32>::min();
+  return static_cast<i32>(s);
+}
+
+/// Clamp a 64-bit intermediate to S.31 (i.e. i32) range.
+constexpr i32 saturate_s31(i64 v) {
+  if (v > std::numeric_limits<i32>::max()) return std::numeric_limits<i32>::max();
+  if (v < std::numeric_limits<i32>::min()) return std::numeric_limits<i32>::min();
+  return static_cast<i32>(v);
+}
+
+} // namespace majc

@@ -1,0 +1,44 @@
+#include "src/support/stats.h"
+
+#include <sstream>
+
+namespace majc {
+
+std::string CounterSet::to_string() const {
+  std::size_t width = 0;
+  for (const auto& [name, value] : counters_) width = std::max(width, name.size());
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << std::string(width - name.size() + 2, ' ') << value << '\n';
+  }
+  return os.str();
+}
+
+u64 Histogram::total() const {
+  u64 t = 0;
+  for (u64 b : buckets_) t += b;
+  return t;
+}
+
+double Histogram::mean() const {
+  const u64 t = total();
+  if (t == 0) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    weighted += static_cast<double>(i) * static_cast<double>(buckets_[i]);
+  }
+  return weighted / static_cast<double>(t);
+}
+
+void RunningStat::add(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  sum_ += v;
+  ++n_;
+}
+
+} // namespace majc

@@ -1,0 +1,30 @@
+// Fundamental fixed-width type aliases used across the MAJC-5200 model.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace majc {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Byte address in the simulated physical address space.
+using Addr = u64;
+
+/// Simulated core clock cycle count (500 MHz in MAJC-5200).
+using Cycle = u64;
+
+/// MAJC-5200 core clock, used to convert cycle counts to wall-clock rates.
+inline constexpr double kClockHz = 500e6;
+
+/// Cache line / group-load granule / prefetch block size in bytes.
+inline constexpr u32 kLineBytes = 32;
+
+} // namespace majc

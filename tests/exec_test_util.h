@@ -1,0 +1,34 @@
+// Shared helper for the executor unit tests: assemble, run on the
+// functional simulator, and read back architectural state.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "src/masm/assembler.h"
+#include "src/sim/functional_sim.h"
+
+namespace majc {
+
+class ExecRun {
+public:
+  explicit ExecRun(const std::string& src)
+      : sim_(masm::assemble_or_throw(src)) {
+    const auto res = sim_.run();
+    EXPECT_TRUE(res.halted) << "program did not halt";
+  }
+
+  u32 g(u32 n) { return sim_.state().read(static_cast<isa::PhysReg>(n)); }
+  i32 gs(u32 n) { return static_cast<i32>(g(n)); }
+  float gf(u32 n) { return std::bit_cast<float>(g(n)); }
+  u64 pair(u32 even) { return (u64{g(even)} << 32) | g(even + 1); }
+  double gd(u32 even) { return std::bit_cast<double>(pair(even)); }
+
+  sim::FunctionalSim& sim() { return sim_; }
+
+private:
+  sim::FunctionalSim sim_;
+};
+
+} // namespace majc

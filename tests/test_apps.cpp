@@ -1,0 +1,86 @@
+// Table 3 application-model tests: every row lands in the paper's
+// neighbourhood and the memory-effects column behaves sanely.
+#include <gtest/gtest.h>
+
+#include "src/apps/workload.h"
+#include "src/support/error.h"
+
+namespace majc {
+namespace {
+
+class AppRows : public ::testing::Test {
+protected:
+  static const std::vector<apps::AppResult>& rows() {
+    static const std::vector<apps::AppResult> r = apps::run_all_apps();
+    return r;
+  }
+  static const apps::AppResult& find(const std::string& needle) {
+    for (const auto& r : rows()) {
+      if (r.name.find(needle) != std::string::npos) return r;
+    }
+    throw Error("row not found: " + needle);
+  }
+};
+
+TEST_F(AppRows, AllSevenRowsPresent) { EXPECT_EQ(rows().size(), 7u); }
+
+TEST_F(AppRows, SpeechCodersAreFewPercent) {
+  const auto& g728 = find("G.728");
+  EXPECT_GT(g728.utilization, 0.005);
+  EXPECT_LT(g728.utilization, 0.04);  // paper: 1.6 %
+  const auto& g729 = find("G.729");
+  EXPECT_GT(g729.utilization, g728.utilization);  // same ordering as paper
+  EXPECT_LT(g729.utilization, 0.05);
+}
+
+TEST_F(AppRows, Mpeg2IsTheHeavyRow) {
+  const auto& m = find("MPEG-2");
+  EXPECT_GT(m.utilization, 0.25);  // paper: 75 %
+  EXPECT_LT(m.utilization, 1.0);
+  for (const auto& r : rows()) {
+    if (r.throughput_mb_s > 0) continue;
+    EXPECT_GE(m.utilization * 1.6, r.utilization) << r.name;
+  }
+}
+
+TEST_F(AppRows, AudioInPaperBand) {
+  const auto& a = find("AC-3");
+  EXPECT_GT(a.utilization, 0.015);
+  EXPECT_LT(a.utilization, 0.08);  // paper: 3-5 %
+}
+
+TEST_F(AppRows, ThroughputRowsNearPaper) {
+  EXPECT_GT(find("JPEG").throughput_mb_s, 25.0);   // paper: 40 MB/s
+  EXPECT_LT(find("JPEG").throughput_mb_s, 90.0);
+  EXPECT_GT(find("Lossless").throughput_mb_s, 25.0);
+  EXPECT_LT(find("Lossless").throughput_mb_s, 120.0);
+}
+
+TEST_F(AppRows, H263NearHalfACpu) {
+  const auto& h = find("H.263");
+  EXPECT_GT(h.utilization, 0.25);  // paper: 50 %
+  EXPECT_LT(h.utilization, 0.9);
+}
+
+TEST_F(AppRows, MemoryEffectsAlwaysCostSomething) {
+  for (const auto& r : rows()) {
+    if (r.throughput_mb_s > 0) continue;
+    EXPECT_GE(r.utilization, r.utilization_no_mem * 0.999) << r.name;
+  }
+}
+
+TEST(KernelCosts, PerfectConfigIsNeverSlower) {
+  TimingConfig real;
+  TimingConfig perfect;
+  perfect.perfect_dcache = true;
+  perfect.perfect_icache = true;
+  const auto cr = apps::measure_kernel_costs(real);
+  const auto cp = apps::measure_kernel_costs(perfect);
+  EXPECT_LE(cp.fir_mac, cr.fir_mac * 1.001);
+  EXPECT_LE(cp.idct_block, cr.idct_block * 1.001);
+  EXPECT_LE(cp.vld_symbol, cr.vld_symbol * 1.001);
+  EXPECT_LE(cp.me_search, cr.me_search * 1.001);
+}
+
+} // namespace
+} // namespace majc

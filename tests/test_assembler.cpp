@@ -1,0 +1,217 @@
+// Assembler tests: lexing, directives, labels, expressions, pseudo-ops,
+// slot validation and diagnostics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/masm/assembler.h"
+#include "src/masm/lexer.h"
+
+namespace majc {
+namespace {
+
+using masm::assemble;
+using masm::assemble_or_throw;
+using masm::Diagnostic;
+
+std::vector<Diagnostic> expect_failure(const char* src) {
+  std::vector<Diagnostic> diags;
+  EXPECT_FALSE(assemble(src, diags).has_value());
+  EXPECT_FALSE(diags.empty());
+  return diags;
+}
+
+TEST(Lexer, TokenKinds) {
+  std::vector<masm::Token> toks;
+  std::string err;
+  ASSERT_TRUE(masm::lex_line("add g1, g2, g3 | ldwi g4, g5, -12 ;; # c",
+                             toks, err));
+  // idents, commas, pipe, number, end
+  EXPECT_EQ(toks.back().kind, masm::TokKind::kEnd);
+  ASSERT_GE(toks.size(), 12u);
+  EXPECT_EQ(toks[0].text, "add");
+}
+
+TEST(Lexer, NumbersAndFloats) {
+  std::vector<masm::Token> toks;
+  std::string err;
+  ASSERT_TRUE(masm::lex_line(".float 1.5, -2e3, 0x1F, -42", toks, err));
+  EXPECT_EQ(toks[0].kind, masm::TokKind::kDirective);
+  EXPECT_DOUBLE_EQ(toks[1].fval, 1.5);
+  EXPECT_DOUBLE_EQ(toks[3].fval, -2000.0);
+  EXPECT_EQ(toks[5].ival, 0x1F);
+  EXPECT_EQ(toks[7].ival, -42);
+}
+
+TEST(Lexer, SingleSemicolonRejected) {
+  std::vector<masm::Token> toks;
+  std::string err;
+  EXPECT_FALSE(masm::lex_line("add g1, g2, g3 ; comment", toks, err));
+}
+
+TEST(Assembler, DataDirectivesAndAlignment) {
+  const auto img = assemble_or_throw(R"(
+    .data
+  a: .byte 1, 2, 3
+    .align 4
+  b: .word 0x11223344
+  c: .half -1
+    .align 8
+  d: .double 2.5
+  e: .space 3
+  f: .byte 9
+    .code
+    halt
+  )");
+  EXPECT_EQ(img.symbol("a"), masm::Image::kDefaultDataBase);
+  EXPECT_EQ(img.symbol("b") % 4, 0u);
+  EXPECT_EQ(img.symbol("d") % 8, 0u);
+  EXPECT_EQ(img.symbol("f"), img.symbol("e") + 3);
+  EXPECT_EQ(img.data[0], 1);
+  const std::size_t boff = img.symbol("b") - masm::Image::kDefaultDataBase;
+  EXPECT_EQ(img.data[boff], 0x44);  // little-endian
+}
+
+TEST(Assembler, WordDirectiveTakesSymbols) {
+  const auto img = assemble_or_throw(R"(
+    .data
+  tbl: .word target, 7
+    .code
+  target:
+    halt
+  )");
+  const std::size_t off = img.symbol("tbl") - masm::Image::kDefaultDataBase;
+  u32 v;
+  std::memcpy(&v, img.data.data() + off, 4);
+  EXPECT_EQ(v, img.symbol("target"));
+}
+
+TEST(Assembler, EntryDirective) {
+  const auto img = assemble_or_throw(R"(
+    .entry start
+    halt
+  start:
+    halt
+  )");
+  EXPECT_EQ(img.entry, img.symbol("start"));
+}
+
+TEST(Assembler, HiLoExpressions) {
+  const auto img = assemble_or_throw(R"(
+    .data
+  buf: .space 16
+    .code
+    sethi g3, %hi(buf+4)
+    orlo g3, %lo(buf+4)
+    halt
+  )");
+  EXPECT_EQ(img.code.size(), 3u);
+}
+
+TEST(Assembler, PseudoOps) {
+  const auto img = assemble_or_throw(R"(
+    li g3, -5
+    mov g4, g3
+    not g5, g4
+    b skip
+    nop
+  skip:
+    ret
+  )");
+  EXPECT_GE(img.code.size(), 6u);
+}
+
+TEST(Assembler, SuffixesSelectSubFields) {
+  const auto img = assemble_or_throw(
+      "ldw.nc g3, g4, g5 | padd.s l0, g3, g3 | psub.u l1, g3, g3 | "
+      "pmulh.b l2, g3, g3\nhalt\n");
+  // sub fields: 1 (non-cached), 1 (signed), 2 (unsigned), 3 (byte)
+  EXPECT_EQ(img.code[0] & 3u, 1u);
+  EXPECT_EQ(img.code[1] & 3u, 1u);
+  EXPECT_EQ(img.code[2] & 3u, 2u);
+  EXPECT_EQ(img.code[3] & 3u, 3u);
+}
+
+TEST(Assembler, DiagnosticsCarryLineNumbers) {
+  const auto diags = expect_failure("nop\nbogus g1, g2\nnop\n");
+  EXPECT_EQ(diags[0].line, 2u);
+}
+
+TEST(Assembler, UnknownLabelReported) {
+  const auto diags = expect_failure("bnz g3, nowhere\nhalt\n");
+  EXPECT_NE(diags[0].message.find("nowhere"), std::string::npos);
+}
+
+TEST(Assembler, DuplicateLabelReported) {
+  expect_failure("x: nop\nx: nop\nhalt\n");
+}
+
+TEST(Assembler, WrongSlotReported) {
+  // Memory op outside slot 0.
+  expect_failure("nop | ldwi g3, g4, 0\nhalt\n");
+  // Five slots.
+  expect_failure("nop | nop | nop | nop | nop\nhalt\n");
+  // FU1-3 op in slot 0.
+  expect_failure("pick g3, g4, g5\nhalt\n");
+}
+
+TEST(Assembler, RegisterRangeReported) {
+  expect_failure("setlo g96, 1\nhalt\n");
+  expect_failure("nop | setlo l32, 1\nhalt\n");
+}
+
+TEST(Assembler, BranchDisplacementRangeChecked) {
+  // Build a program whose branch target is ~40000 words away: exceeds the
+  // 16-bit word displacement.
+  std::string src = "b far\n";
+  for (int i = 0; i < 40000; ++i) src += "nop\n";
+  src += "far: halt\n";
+  std::vector<Diagnostic> diags;
+  EXPECT_FALSE(assemble(src, diags).has_value());
+}
+
+TEST(Assembler, ImmediateRangeReported) {
+  expect_failure("addi g3, g4, 1000\nhalt\n");
+}
+
+TEST(Assembler, InstructionsInDataSectionRejected) {
+  expect_failure(".data\nadd g3, g4, g5\n");
+}
+
+TEST(Assembler, CollectsMultipleDiagnostics) {
+  const auto diags = expect_failure("bogus1\nbogus2\nbogus3\n");
+  EXPECT_GE(diags.size(), 3u);
+}
+
+TEST(Assembler, EmptyAndCommentOnlyProgram) {
+  const auto img = assemble_or_throw("# nothing\n\n   \nhalt\n");
+  EXPECT_EQ(img.code.size(), 1u);
+}
+
+
+TEST(Assembler, AsciiDirectives) {
+  const auto img = assemble_or_throw(R"(
+    .data
+  msg: .asciz "Hi\n"
+  raw: .ascii "AB"
+  end: .byte 7
+    .code
+    halt
+  )");
+  const std::size_t m = img.symbol("msg") - masm::Image::kDefaultDataBase;
+  EXPECT_EQ(img.data[m], 'H');
+  EXPECT_EQ(img.data[m + 1], 'i');
+  EXPECT_EQ(img.data[m + 2], '\n');
+  EXPECT_EQ(img.data[m + 3], 0);
+  const std::size_t r = img.symbol("raw") - masm::Image::kDefaultDataBase;
+  EXPECT_EQ(img.data[r], 'A');
+  EXPECT_EQ(img.symbol("end") - img.symbol("raw"), 2u);
+}
+
+TEST(Assembler, BadStringsRejected) {
+  expect_failure(".data\nx: .asciz \"unterminated\n.code\nhalt\n");
+  expect_failure(".data\nx: .asciz 5\n.code\nhalt\n");
+}
+
+} // namespace
+} // namespace majc

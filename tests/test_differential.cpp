@@ -1,0 +1,152 @@
+// Differential fuzzing: random (but well-formed) MAJC programs must leave
+// identical architectural state on the instruction-accurate simulator and
+// on the cycle-accurate model (whose stalls, caches, LSU scheduling and
+// branch prediction must never change computed values), and the cycle
+// model's statistics must satisfy basic invariants.
+#include <gtest/gtest.h>
+
+#include "src/cpu/cycle_cpu.h"
+#include "src/masm/assembler.h"
+#include "src/sim/functional_sim.h"
+#include "src/support/rng.h"
+
+namespace majc {
+namespace {
+
+/// Emit a random straight-line body with occasional bounded loops and
+/// masked in-bounds memory traffic on a 4 KB scratch region.
+std::string random_program(u64 seed, u32 packets) {
+  SplitMix64 rng(seed);
+  std::string src = ".data\nscratch: .space 4096\n.code\n";
+  src += "sethi g3, %hi(scratch)\norlo g3, %lo(scratch)\n";
+  // Random initial register state.
+  for (u32 r = 10; r <= 29; ++r) {
+    const u32 v = rng.next_u32();
+    src += "sethi g" + std::to_string(r) + ", " + std::to_string(v >> 16) +
+           "\norlo g" + std::to_string(r) + ", " + std::to_string(v & 0xFFFF) +
+           "\n";
+  }
+  auto reg = [&] { return "g" + std::to_string(10 + rng.next_below(20)); };
+  auto lreg = [&] { return "l" + std::to_string(rng.next_below(8)); };
+
+  static const char* kFu0Ops[] = {"add", "sub", "and", "or", "xor",
+                                  "sll", "srl", "sra", "cmplt", "cmpltu"};
+  static const char* kComputeOps[] = {
+      "add",      "sub",    "and",      "or",       "xor",    "andn",
+      "sll",      "srl",    "sra",      "satadd",   "satsub", "mul",
+      "mulhi",    "madd",   "msub",     "padd",     "padd.s", "psub.u",
+      "pmulh.s",  "pmuls15.s", "pmaddh.s", "dotp",  "lzd",    "pdist",
+      "fadd",     "fsub",   "fmul",     "fmadd",    "fmin",   "fmax",
+      "fneg",     "fabs",   "fcmplt",   "itof",     "cmpeq",  "cmple"};
+
+  u32 loop_depth = 0;
+  u32 loops = 0;
+  for (u32 p = 0; p < packets; ++p) {
+    const u32 kind = rng.next_below(10);
+    if (kind == 0) {
+      // Masked word load from scratch.
+      src += std::string("andi g9, ") + reg() + ", 252\n";
+      src += std::string("ldw ") + reg() + ", g3, g9\n";
+    } else if (kind == 1) {
+      src += std::string("andi g9, ") + reg() + ", 252\n";
+      src += std::string("stw ") + reg() + ", g3, g9\n";
+    } else if (kind == 2 && loop_depth == 0 && loops < 3) {
+      // Bounded countdown loop.
+      const u32 n = 2 + rng.next_below(6);
+      src += "setlo g8, " + std::to_string(n) + "\n";
+      src += "lp" + std::to_string(loops) + ":\n";
+      loop_depth = 1;
+      ++loops;
+    } else if (kind == 3 && loop_depth == 1) {
+      src += "addi g8, g8, -1\n";
+      src += "bnz g8, lp" + std::to_string(loops - 1) + "\n";
+      loop_depth = 0;
+    } else {
+      // A 1-4 wide compute packet.
+      const u32 width = 1 + rng.next_below(4);
+      for (u32 s = 0; s < width; ++s) {
+        if (s > 0) src += " | ";
+        const char* op =
+            s == 0 ? kFu0Ops[rng.next_below(std::size(kFu0Ops))]
+                   : kComputeOps[rng.next_below(std::size(kComputeOps))];
+        const std::string rd = (s > 0 && rng.next_below(3) == 0) ? lreg() : reg();
+        src += std::string(op) + " " + rd + ", " + reg() + ", " + reg();
+      }
+      src += "\n";
+    }
+  }
+  if (loop_depth == 1) {
+    src += "addi g8, g8, -1\nbnz g8, lp" + std::to_string(loops - 1) + "\n";
+  }
+  src += "halt\n";
+  return src;
+}
+
+class Differential : public ::testing::TestWithParam<u64> {};
+
+TEST_P(Differential, CycleModelComputesIdenticalState) {
+  const std::string src = random_program(GetParam(), 120);
+
+  sim::FunctionalSim fsim(masm::assemble_or_throw(src));
+  const auto fres = fsim.run(2'000'000);
+  ASSERT_TRUE(fres.halted) << src;
+
+  cpu::CycleSim csim(masm::assemble_or_throw(src));
+  const auto cres = csim.run(2'000'000);
+  ASSERT_TRUE(cres.halted);
+
+  // Registers (all 224, including every FU's locals).
+  for (u32 r = 0; r < isa::kNumRegs; ++r) {
+    ASSERT_EQ(fsim.state().regs[r], csim.cpu().state().regs[r])
+        << "register " << r << " diverged (seed " << GetParam() << ")";
+  }
+  // Scratch memory.
+  const Addr base = fsim.program().image().symbol("scratch");
+  for (u32 off = 0; off < 4096; off += 4) {
+    ASSERT_EQ(fsim.memory().read_u32(base + off),
+              csim.memory().read_u32(base + off))
+        << "memory +" << off << " diverged (seed " << GetParam() << ")";
+  }
+
+  // Statistics invariants.
+  EXPECT_EQ(fres.packets, cres.packets);
+  EXPECT_EQ(fres.instrs, cres.instrs);
+  EXPECT_GE(cres.cycles, cres.packets);  // at most one packet per cycle
+  EXPECT_EQ(csim.cpu().stats().width_hist.total(), cres.packets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Range<u64>(1, 25));
+
+TEST(Differential, MicrothreadedModelAlsoMatches) {
+  // Two contexts running the same random program on disjoint scratch halves
+  // must each match a functional reference run.
+  const std::string body = random_program(777, 60);
+  // Shift each context's scratch accesses by gettid*2048.
+  std::string src = body;
+  const std::string anchor = "orlo g3, %lo(scratch)\n";
+  src.replace(src.find(anchor), anchor.size(),
+              anchor + "gettid g7\nslli g7, g7, 11\nadd g3, g3, g7\n");
+
+  TimingConfig cfg;
+  cfg.hw_threads = 2;
+  cpu::CycleSim csim(masm::assemble_or_throw(src), cfg);
+  ASSERT_TRUE(csim.run(4'000'000).halted);
+
+  sim::FunctionalSim fsim(masm::assemble_or_throw(body));
+  ASSERT_TRUE(fsim.run(2'000'000).halted);
+
+  // Thread 0 used scratch+0, like the functional run; compare it.
+  const Addr base = fsim.program().image().symbol("scratch");
+  for (u32 off = 0; off < 2048; off += 4) {
+    ASSERT_EQ(fsim.memory().read_u32(base + off),
+              csim.memory().read_u32(base + off))
+        << "thread-0 memory +" << off;
+  }
+  for (u32 r = 10; r <= 29; ++r) {
+    EXPECT_EQ(fsim.state().regs[r], csim.cpu().state(0).regs[r]) << r;
+  }
+}
+
+} // namespace
+} // namespace majc

@@ -1,0 +1,151 @@
+// FP32 / FP64 semantics: arithmetic, fused ops, compares, converts,
+// min/max/negate, and the register-pair conventions.
+#include "tests/exec_test_util.h"
+
+#include <cmath>
+
+namespace majc {
+namespace {
+
+std::string setf(const std::string& reg, float v) {
+  const u32 bits = std::bit_cast<u32>(v);
+  return "sethi " + reg + ", " + std::to_string(bits >> 16) + "\norlo " + reg +
+         ", " + std::to_string(bits & 0xFFFF) + "\n";
+}
+
+TEST(ExecFp, Arithmetic) {
+  std::string src = setf("g3", 1.5f) + setf("g4", -2.25f);
+  src += R"(
+    nop | fadd g10, g3, g4
+    nop | fsub g11, g3, g4
+    nop | fmul g12, g3, g4
+    fdiv g13, g3, g4
+    halt
+  )";
+  ExecRun r(src);
+  EXPECT_EQ(r.gf(10), 1.5f + -2.25f);
+  EXPECT_EQ(r.gf(11), 1.5f - -2.25f);
+  EXPECT_EQ(r.gf(12), 1.5f * -2.25f);
+  EXPECT_EQ(r.gf(13), 1.5f / -2.25f);
+}
+
+TEST(ExecFp, FusedMultiplyAddIsFused) {
+  // Choose operands where fma differs from mul+add at float precision.
+  const float a = 1.0f + 0x1p-12f;
+  const float b = 1.0f + 0x1p-12f;
+  const float c = -1.0f;
+  std::string src = setf("g3", a) + setf("g4", b) + setf("g10", c) +
+                    setf("g11", c);
+  src += "nop | fmadd g10, g3, g4\n";
+  src += "nop | fmsub g11, g3, g4\nhalt\n";
+  ExecRun r(src);
+  EXPECT_EQ(r.gf(10), std::fmaf(a, b, c));
+  EXPECT_EQ(r.gf(11), std::fmaf(-a, b, c));
+  EXPECT_NE(r.gf(10), a * b + c);  // the fused result keeps the low bits
+}
+
+TEST(ExecFp, MinMaxNegAbs) {
+  std::string src = setf("g3", -3.5f) + setf("g4", 2.0f);
+  src += R"(
+    nop | fmin g10, g3, g4
+    nop | fmax g11, g3, g4
+    nop | fneg g12, g3
+    nop | fabs g13, g3
+    halt
+  )";
+  ExecRun r(src);
+  EXPECT_EQ(r.gf(10), -3.5f);
+  EXPECT_EQ(r.gf(11), 2.0f);
+  EXPECT_EQ(r.gf(12), 3.5f);
+  EXPECT_EQ(r.gf(13), 3.5f);
+}
+
+TEST(ExecFp, ComparesAndConverts) {
+  std::string src = setf("g3", 1.0f) + setf("g4", 2.0f) + setf("g5", -7.9f);
+  src += R"(
+    nop | fcmpeq g10, g3, g3
+    nop | fcmplt g11, g3, g4
+    nop | fcmple g12, g4, g3
+    setlo g6, -19
+    nop | itof g13, g6
+    nop | ftoi g14, g5
+    halt
+  )";
+  ExecRun r(src);
+  EXPECT_EQ(r.g(10), 1u);
+  EXPECT_EQ(r.g(11), 1u);
+  EXPECT_EQ(r.g(12), 0u);
+  EXPECT_EQ(r.gf(13), -19.0f);
+  EXPECT_EQ(r.gs(14), -7);  // truncation toward zero
+}
+
+TEST(ExecFp, FtoiSaturatesAndHandlesNan) {
+  std::string src = setf("g3", 3e9f) + setf("g4", -3e9f) +
+                    setf("g5", std::nanf(""));
+  src += R"(
+    nop | ftoi g10, g3
+    nop | ftoi g11, g4
+    nop | ftoi g12, g5
+    halt
+  )";
+  ExecRun r(src);
+  EXPECT_EQ(r.gs(10), 2147483647);
+  EXPECT_EQ(r.gs(11), -2147483647 - 1);
+  EXPECT_EQ(r.gs(12), 0);
+}
+
+TEST(ExecFp, Rsqrt) {
+  std::string src = setf("g3", 4.0f);
+  src += "frsqrt g10, g3\nhalt\n";
+  ExecRun r(src);
+  EXPECT_EQ(r.gf(10), 1.0f / std::sqrt(4.0f));
+}
+
+TEST(ExecFp, DoublePrecisionPairs) {
+  // Load doubles from memory into pairs and exercise the FP64 unit.
+  ExecRun r(R"(
+    .data
+      .align 8
+  a: .double 2.5
+  b: .double -1.25
+    .code
+    sethi g3, %hi(a)
+    orlo g3, %lo(a)
+    ldli g10, g3, 0       # a -> g10:g11
+    ldli g12, g3, 8       # b -> g12:g13
+    nop | dadd g14, g10, g12
+    nop | dsub g16, g10, g12
+    nop | dmul g18, g10, g12
+    nop | dmin g20, g10, g12
+    nop | dmax g22, g10, g12
+    nop | dneg g24, g12
+    nop | dcmplt g26, g12, g10
+    nop | dcmpeq g27, g10, g10
+    nop | dcmple g28, g10, g12
+    halt
+  )");
+  EXPECT_EQ(r.gd(14), 2.5 + -1.25);
+  EXPECT_EQ(r.gd(16), 2.5 - -1.25);
+  EXPECT_EQ(r.gd(18), 2.5 * -1.25);
+  EXPECT_EQ(r.gd(20), -1.25);
+  EXPECT_EQ(r.gd(22), 2.5);
+  EXPECT_EQ(r.gd(24), 1.25);
+  EXPECT_EQ(r.g(26), 1u);
+  EXPECT_EQ(r.g(27), 1u);
+  EXPECT_EQ(r.g(28), 0u);
+}
+
+TEST(ExecFp, ConvertBetweenPrecisions) {
+  std::string src = setf("g3", 0.1f);
+  src += R"(
+    nop | ftod g10, g3
+    nop | dtof g12, g10
+    halt
+  )";
+  ExecRun r(src);
+  EXPECT_EQ(r.gd(10), static_cast<double>(0.1f));
+  EXPECT_EQ(r.gf(12), 0.1f);
+}
+
+} // namespace
+} // namespace majc

@@ -1,0 +1,168 @@
+// Integer ALU / compare / conditional-move / multiply / divide semantics.
+#include "tests/exec_test_util.h"
+
+namespace majc {
+namespace {
+
+TEST(ExecInt, ArithmeticAndLogic) {
+  ExecRun r(R"(
+    setlo g3, 100
+    setlo g4, -7
+    add g10, g3, g4
+    sub g11, g3, g4
+    and g12, g3, g4
+    or  g13, g3, g4
+    xor g14, g3, g4
+    andn g15, g3, g4
+    halt
+  )");
+  EXPECT_EQ(r.gs(10), 93);
+  EXPECT_EQ(r.gs(11), 107);
+  EXPECT_EQ(r.g(12), 100u & static_cast<u32>(-7));
+  EXPECT_EQ(r.g(13), 100u | static_cast<u32>(-7));
+  EXPECT_EQ(r.g(14), 100u ^ static_cast<u32>(-7));
+  EXPECT_EQ(r.g(15), 100u & ~static_cast<u32>(-7));
+}
+
+TEST(ExecInt, ShiftsMaskTo5Bits) {
+  ExecRun r(R"(
+    setlo g3, -8
+    setlo g4, 33        # shift amount: 33 & 31 = 1
+    sll g10, g3, g4
+    srl g11, g3, g4
+    sra g12, g3, g4
+    slli g13, g3, 2
+    srai g14, g3, 1
+    halt
+  )");
+  EXPECT_EQ(r.g(10), static_cast<u32>(-8) << 1);
+  EXPECT_EQ(r.g(11), static_cast<u32>(-8) >> 1);
+  EXPECT_EQ(r.gs(12), -4);
+  EXPECT_EQ(r.gs(13), -32);
+  EXPECT_EQ(r.gs(14), -4);
+}
+
+TEST(ExecInt, Compares) {
+  ExecRun r(R"(
+    setlo g3, -1
+    setlo g4, 1
+    cmpeq g10, g3, g3
+    cmpne g11, g3, g4
+    cmplt g12, g3, g4    # signed: -1 < 1
+    cmpltu g13, g3, g4   # unsigned: 0xffffffff < 1 is false
+    cmple g14, g4, g4
+    cmpleu g15, g4, g3
+    halt
+  )");
+  EXPECT_EQ(r.g(10), 1u);
+  EXPECT_EQ(r.g(11), 1u);
+  EXPECT_EQ(r.g(12), 1u);
+  EXPECT_EQ(r.g(13), 0u);
+  EXPECT_EQ(r.g(14), 1u);
+  EXPECT_EQ(r.g(15), 1u);
+}
+
+TEST(ExecInt, ConditionalMovesAndPick) {
+  ExecRun r(R"(
+    setlo g3, 11
+    setlo g4, 22
+    setlo g5, 1
+    setlo g10, 99
+    cmovnz g10, g3, g5   # taken
+    setlo g11, 99
+    cmovnz g11, g3, g0   # not taken
+    setlo g12, 99
+    cmovz g12, g4, g0    # taken
+    nop | setlo l0, 1
+    nop | pick l0, g3, g4   # l0 != 0 -> g3
+    nop | mov g13, l0
+    nop | setlo l1, 0
+    nop | pick l1, g3, g4   # l1 == 0 -> g4
+    nop | mov g14, l1
+    halt
+  )");
+  EXPECT_EQ(r.g(10), 11u);
+  EXPECT_EQ(r.g(11), 99u);
+  EXPECT_EQ(r.g(12), 22u);
+  EXPECT_EQ(r.g(13), 11u);
+  EXPECT_EQ(r.g(14), 22u);
+}
+
+TEST(ExecInt, MultiplyFamily) {
+  ExecRun r(R"(
+    sethi g3, 2
+    orlo g3, 0           # 0x20000
+    sethi g4, 3
+    orlo g4, 0           # 0x30000
+    nop | mul g10, g3, g4
+    nop | mulhi g11, g3, g4
+    nop | mulhiu g12, g3, g4
+    setlo g13, 10
+    nop | madd g13, g3, g4
+    setlo g14, 10
+    nop | msub g14, g3, g4
+    setlo g5, -3
+    setlo g6, 5
+    nop | mulhi g15, g5, g6
+    halt
+  )");
+  const u64 prod = u64{0x20000} * 0x30000;
+  EXPECT_EQ(r.g(10), static_cast<u32>(prod));
+  EXPECT_EQ(r.g(11), static_cast<u32>(prod >> 32));
+  EXPECT_EQ(r.g(12), static_cast<u32>(prod >> 32));
+  EXPECT_EQ(r.g(13), static_cast<u32>(prod) + 10);
+  EXPECT_EQ(r.g(14), 10u - static_cast<u32>(prod));
+  EXPECT_EQ(r.gs(15), -1);  // high word of -15
+}
+
+TEST(ExecInt, DivideEdgeCases) {
+  ExecRun r(R"(
+    setlo g3, -100
+    setlo g4, 7
+    div g10, g3, g4
+    divu g11, g3, g4
+    div g12, g3, g0      # divide by zero -> 0
+    sethi g5, 0x8000
+    orlo g5, 0
+    setlo g6, -1
+    div g13, g5, g6      # INT_MIN / -1 wraps to INT_MIN
+    halt
+  )");
+  EXPECT_EQ(r.gs(10), -14);
+  EXPECT_EQ(r.g(11), static_cast<u32>(-100) / 7u);
+  EXPECT_EQ(r.g(12), 0u);
+  EXPECT_EQ(r.g(13), 0x80000000u);
+}
+
+TEST(ExecInt, SaturatingScalar) {
+  ExecRun r(R"(
+    sethi g3, 0x7fff
+    orlo g3, 0xffff      # INT_MAX
+    setlo g4, 5
+    nop | satadd g10, g3, g4
+    sethi g5, 0x8000
+    orlo g5, 0           # INT_MIN
+    nop | satsub g11, g5, g4
+    nop | satadd g12, g4, g4
+    halt
+  )");
+  EXPECT_EQ(r.g(10), 0x7FFFFFFFu);
+  EXPECT_EQ(r.g(11), 0x80000000u);
+  EXPECT_EQ(r.g(12), 10u);
+}
+
+TEST(ExecInt, SetloSethiOrlo) {
+  ExecRun r(R"(
+    setlo g10, -1
+    sethi g11, 0xBEEF
+    sethi g12, 0xDEAD
+    orlo g12, 0xF00D
+    halt
+  )");
+  EXPECT_EQ(r.g(10), 0xFFFFFFFFu);
+  EXPECT_EQ(r.g(11), 0xBEEF0000u);
+  EXPECT_EQ(r.g(12), 0xDEADF00Du);
+}
+
+} // namespace
+} // namespace majc

@@ -1,0 +1,203 @@
+// Memory-operation semantics: every load/store width, sign extension,
+// addressing forms, group transfers, conditional stores, atomics, and the
+// alignment faults.
+#include "tests/exec_test_util.h"
+
+namespace majc {
+namespace {
+
+TEST(ExecMem, ByteAndHalfLoadsSignExtend) {
+  ExecRun r(R"(
+    .data
+  v: .byte 0x80, 0x7F
+    .align 2
+  h: .half -2, 32767
+    .code
+    sethi g3, %hi(v)
+    orlo g3, %lo(v)
+    ldbi g10, g3, 0
+    ldbui g11, g3, 0
+    ldbi g12, g3, 1
+    sethi g4, %hi(h)
+    orlo g4, %lo(h)
+    ldhi g13, g4, 0
+    ldhui g14, g4, 0
+    ldhi g15, g4, 2
+    halt
+  )");
+  EXPECT_EQ(r.gs(10), -128);
+  EXPECT_EQ(r.g(11), 0x80u);
+  EXPECT_EQ(r.gs(12), 127);
+  EXPECT_EQ(r.gs(13), -2);
+  EXPECT_EQ(r.g(14), 0xFFFEu);
+  EXPECT_EQ(r.gs(15), 32767);
+}
+
+TEST(ExecMem, StoreWidths) {
+  ExecRun r(R"(
+    .data
+  buf: .space 16
+    .code
+    sethi g3, %hi(buf)
+    orlo g3, %lo(buf)
+    setlo g4, -1
+    stwi g4, g3, 0       # fill a word with ff
+    setlo g5, 0x12
+    stbi g5, g3, 1       # patch one byte
+    sethi g6, 0xAABB
+    orlo g6, 0xCCDD
+    sthi g6, g3, 4       # halfword store keeps the low 16 bits
+    ldwi g10, g3, 0
+    ldwi g11, g3, 4
+    halt
+  )");
+  EXPECT_EQ(r.g(10), 0xFFFF12FFu);
+  EXPECT_EQ(r.g(11) & 0xFFFFu, 0xCCDDu);
+}
+
+TEST(ExecMem, RegPlusRegAddressing) {
+  ExecRun r(R"(
+    .data
+  arr: .word 10, 20, 30, 40
+    .code
+    sethi g3, %hi(arr)
+    orlo g3, %lo(arr)
+    setlo g4, 8
+    ldw g10, g3, g4
+    setlo g5, 99
+    stw g5, g3, g4
+    ldw g11, g3, g4
+    halt
+  )");
+  EXPECT_EQ(r.g(10), 30u);
+  EXPECT_EQ(r.g(11), 99u);
+}
+
+TEST(ExecMem, GroupStoreRoundTrip) {
+  ExecRun r(R"(
+    .data
+      .align 32
+  src: .word 1, 2, 3, 4, 5, 6, 7, 8
+  dst: .space 32
+    .code
+    sethi g3, %hi(src)
+    orlo g3, %lo(src)
+    ldgi g8, g3, 0
+    sethi g4, %hi(dst)
+    orlo g4, %lo(dst)
+    stgi g8, g4, 0
+    ldgi g16, g4, 0
+    halt
+  )");
+  for (u32 i = 0; i < 8; ++i) EXPECT_EQ(r.g(16 + i), i + 1);
+}
+
+TEST(ExecMem, ConditionalStore) {
+  ExecRun r(R"(
+    .data
+  a: .word 111
+  b: .word 222
+    .code
+    sethi g3, %hi(a)
+    orlo g3, %lo(a)
+    sethi g4, %hi(b)
+    orlo g4, %lo(b)
+    setlo g5, 77
+    setlo g6, 1
+    stcw g5, g3, g6      # predicate true: stores
+    stcw g5, g4, g0      # predicate false: no effect
+    ldwi g10, g3, 0
+    ldwi g11, g4, 0
+    halt
+  )");
+  EXPECT_EQ(r.g(10), 77u);
+  EXPECT_EQ(r.g(11), 222u);
+}
+
+TEST(ExecMem, AtomicsSingleCpuSemantics) {
+  ExecRun r(R"(
+    .data
+  cell: .word 5
+    .code
+    sethi g3, %hi(cell)
+    orlo g3, %lo(cell)
+    setlo g4, 9
+    swap g4, g3          # g4 <- 5, cell <- 9
+    setlo g5, 42
+    setlo g6, 9
+    cas g5, g3, g6       # expect 9: succeeds; g5 <- 9, cell <- 42
+    setlo g7, 100
+    setlo g8, 9
+    cas g7, g3, g8       # expect 9 but cell is 42: fails; g7 <- 42
+    ldwi g10, g3, 0
+    halt
+  )");
+  EXPECT_EQ(r.g(4), 5u);
+  EXPECT_EQ(r.g(5), 9u);
+  EXPECT_EQ(r.g(7), 42u);
+  EXPECT_EQ(r.g(10), 42u);
+}
+
+TEST(ExecMem, CachedAttributesExecuteIdentically) {
+  // Cache attributes are timing hints; values must not change.
+  ExecRun r(R"(
+    .data
+  v: .word 1234
+    .code
+    sethi g3, %hi(v)
+    orlo g3, %lo(v)
+    ldw g10, g3, g0
+    ldw.nc g11, g3, g0
+    ldw.na g12, g3, g0
+    halt
+  )");
+  EXPECT_EQ(r.g(10), 1234u);
+  EXPECT_EQ(r.g(11), 1234u);
+  EXPECT_EQ(r.g(12), 1234u);
+}
+
+TEST(ExecMem, MisalignedAccessFaults) {
+  sim::FunctionalSim sim(masm::assemble_or_throw(R"(
+    setlo g3, 4097
+    ldwi g4, g3, 0
+    halt
+  )"));
+  EXPECT_THROW(sim.run(), Error);
+}
+
+TEST(ExecMem, OutOfBoundsFaults) {
+  sim::FunctionalSim sim(masm::assemble_or_throw(R"(
+    setlo g3, -4
+    ldw g4, g3, g0
+    halt
+  )"));
+  EXPECT_THROW(sim.run(), Error);
+}
+
+TEST(ExecMem, PrefetchHasNoArchitecturalEffect) {
+  ExecRun r(R"(
+    .data
+  v: .word 55
+    .code
+    sethi g3, %hi(v)
+    orlo g3, %lo(v)
+    prefi g0, g3, 0
+    pref g0, g3, g0
+    ldwi g10, g3, 0
+    halt
+  )");
+  EXPECT_EQ(r.g(10), 55u);
+}
+
+TEST(ExecMem, MembarIsANoOpForValues) {
+  ExecRun r(R"(
+    setlo g3, 7
+    membar
+    add g10, g3, g3
+    halt
+  )");
+  EXPECT_EQ(r.g(10), 14u);
+}
+
+} // namespace
+} // namespace majc

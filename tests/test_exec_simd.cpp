@@ -1,0 +1,140 @@
+// SIMD 16-bit-pair, fixed point and bit/byte manipulation semantics,
+// cross-checked against the support-library primitives (property style).
+#include "tests/exec_test_util.h"
+
+#include "src/support/bits.h"
+#include "src/support/fixed_point.h"
+#include "src/support/rng.h"
+#include "src/support/saturate.h"
+
+namespace majc {
+namespace {
+
+std::string set32(const std::string& reg, u32 v) {
+  return "sethi " + reg + ", " + std::to_string(v >> 16) + "\norlo " + reg +
+         ", " + std::to_string(v & 0xFFFF) + "\n";
+}
+
+/// Run one R-form SIMD op with the given operand words; returns rd.
+u32 simd1(const std::string& op, u32 a, u32 b, u32 acc = 0) {
+  std::string src = set32("g3", a) + set32("g4", b) + set32("g10", acc);
+  src += "nop | " + op + " g10, g3, g4\nhalt\n";
+  ExecRun r(src);
+  return r.g(10);
+}
+
+TEST(ExecSimd, PaddModes) {
+  SplitMix64 rng(5);
+  for (int t = 0; t < 200; ++t) {
+    const u32 a = rng.next_u32(), b = rng.next_u32();
+    for (const char* suffix : {"", ".s", ".u", ".b"}) {
+      const auto mode = static_cast<SatMode>(
+          suffix[0] == 0 ? 0 : (suffix[1] == 's' ? 1 : suffix[1] == 'u' ? 2 : 3));
+      const u32 got = simd1(std::string("padd") + suffix, a, b);
+      const i64 hi = i64{static_cast<i16>(a >> 16)} + static_cast<i16>(b >> 16);
+      const i64 lo = i64{static_cast<i16>(a)} + static_cast<i16>(b);
+      const u32 want =
+          (u32{saturate_lane(hi, mode)} << 16) | saturate_lane(lo, mode);
+      ASSERT_EQ(got, want) << "padd" << suffix;
+    }
+  }
+}
+
+TEST(ExecSimd, PsubSaturated) {
+  // -32768 - 1 saturates per-lane in signed mode, wraps otherwise.
+  const u32 a = 0x8000'0005u;  // lanes (-32768, 5)
+  const u32 b = 0x0001'0007u;  // lanes (1, 7)
+  EXPECT_EQ(simd1("psub.s", a, b), 0x8000FFFEu);
+  EXPECT_EQ(simd1("psub", a, b), 0x7FFFFFFEu);  // wrap
+}
+
+TEST(ExecSimd, FixedPointMultiplies) {
+  const u16 h1 = to_fixed(0.5, kFracS15), l1 = to_fixed(-0.25, kFracS15);
+  const u16 h2 = to_fixed(0.5, kFracS15), l2 = to_fixed(0.8, kFracS15);
+  const u32 a = (u32{h1} << 16) | l1;
+  const u32 b = (u32{h2} << 16) | l2;
+  const u32 got = simd1("pmuls15.s", a, b);
+  EXPECT_EQ(got >> 16, fx_mul(h1, h2, kFracS15, SatMode::kSigned16));
+  EXPECT_EQ(got & 0xFFFF, fx_mul(l1, l2, kFracS15, SatMode::kSigned16));
+  EXPECT_NEAR(from_fixed(static_cast<u16>(got >> 16), kFracS15), 0.25, 1e-3);
+
+  const u16 a213 = to_fixed(1.5, kFracS213), b213 = to_fixed(2.0, kFracS213);
+  const u32 got213 = simd1("pmuls213.s", (u32{a213} << 16) | a213,
+                           (u32{b213} << 16) | b213);
+  EXPECT_NEAR(from_fixed(static_cast<u16>(got213), kFracS213), 3.0, 1e-3);
+}
+
+TEST(ExecSimd, MaddAccumulates) {
+  const u32 acc = 0x0001'0002u;
+  const u32 a = 0x0003'0004u;
+  const u32 b = 0x0005'0006u;
+  EXPECT_EQ(simd1("pmaddh", a, b, acc), ((1u + 15) << 16) | (2u + 24));
+}
+
+TEST(ExecSimd, DotProductFullPrecision) {
+  // dotp: rd += hi*hi + lo*lo with 32-bit accumulation.
+  const u32 a = (u32{static_cast<u16>(i16{-300})} << 16) | 200;
+  const u32 b = (u32{static_cast<u16>(i16{400})} << 16) |
+                static_cast<u16>(i16{-100});
+  const u32 got = simd1("dotp", a, b, 1000);
+  EXPECT_EQ(static_cast<i32>(got), 1000 + (-300 * 400) + (200 * -100));
+}
+
+TEST(ExecSimd, Pmuls31) {
+  const u16 a = to_fixed(-0.5, kFracS15), b = to_fixed(0.5, kFracS15);
+  const u32 got = simd1("pmuls31", a, b);
+  EXPECT_EQ(static_cast<i32>(got), fx_mul_s31(a, b));
+  EXPECT_NEAR(static_cast<i32>(got) / 2147483648.0, -0.25, 1e-4);
+}
+
+TEST(ExecSimd, ParallelDivideAndRsqrtOnFu0) {
+  const u16 six = to_fixed(3.0, kFracS213), two = to_fixed(2.0, kFracS213);
+  std::string src = set32("g3", (u32{six} << 16) | six) +
+                    set32("g4", (u32{two} << 16) | two);
+  src += "pdiv213 g10, g3, g4\nprsqrt213 g11, g4\nhalt\n";
+  ExecRun r(src);
+  EXPECT_NEAR(from_fixed(static_cast<u16>(r.g(10)), kFracS213), 1.5, 1e-3);
+  EXPECT_NEAR(from_fixed(static_cast<u16>(r.g(11) & 0xFFFF), kFracS213),
+              1.0 / std::sqrt(2.0), 2e-3);
+}
+
+TEST(ExecSimd, BextDynamicField) {
+  // Pair g6:g7 = 0xDEADBEEF:0x12345678; extract 12 bits at position 20.
+  std::string src = set32("g6", 0xDEADBEEF) + set32("g7", 0x12345678);
+  src += "setlo g4, " + std::to_string(20 | (12 << 6)) + "\n";
+  src += "nop | bext g10, g6, g4\nhalt\n";
+  ExecRun r(src);
+  EXPECT_EQ(r.g(10), bitfield_extract(0xDEADBEEF, 0x12345678, 20, 12));
+  EXPECT_EQ(r.g(10), 0xEEFu);
+}
+
+TEST(ExecSimd, LzdAndShuffleAndPdist) {
+  std::string src = set32("g3", 0x00013579) + set32("g4", 0x0A0B0C0D) +
+                    set32("g5", 0x01020304);
+  src += "nop | lzd g10, g3\n";
+  src += "setlo g11, " + std::to_string(0x4567) + "\n";  // pick low-word bytes
+  src += "nop | bshuf g11, g3, g4\n";
+  src += "setlo g12, 10\n";
+  src += "nop | pdist g12, g4, g5\nhalt\n";
+  ExecRun r(src);
+  EXPECT_EQ(r.g(10), 15u);
+  EXPECT_EQ(r.g(11), 0x0A0B0C0Du);
+  EXPECT_EQ(r.g(12), 10u + pixel_distance(0x0A0B0C0D, 0x01020304));
+}
+
+TEST(ExecSimd, MatchesSupportPrimitivesProperty) {
+  // Sweep random operands over pmulh in every mode against lanewise math.
+  SplitMix64 rng(77);
+  for (int t = 0; t < 100; ++t) {
+    const u32 a = rng.next_u32(), b = rng.next_u32();
+    const u32 got = simd1("pmulh.s", a, b);
+    const i64 hi = i64{static_cast<i16>(a >> 16)} * static_cast<i16>(b >> 16);
+    const i64 lo = i64{static_cast<i16>(a)} * static_cast<i16>(b);
+    const u32 want = (u32{saturate_lane(hi, SatMode::kSigned16)} << 16) |
+                     saturate_lane(lo, SatMode::kSigned16);
+    ASSERT_EQ(got, want);
+  }
+}
+
+} // namespace
+} // namespace majc

@@ -1,0 +1,207 @@
+// End-to-end tests of the instruction-accurate simulator: assemble small
+// programs, run them, check architectural results and console output.
+#include <gtest/gtest.h>
+
+#include "src/masm/assembler.h"
+#include "src/sim/functional_sim.h"
+
+namespace majc {
+namespace {
+
+using masm::assemble_or_throw;
+using sim::FunctionalSim;
+
+u32 run_and_read_g(const char* src, u32 greg, sim::RunResult* out = nullptr) {
+  FunctionalSim s(assemble_or_throw(src));
+  const auto res = s.run();
+  EXPECT_TRUE(res.halted);
+  if (out) *out = res;
+  return s.state().read(static_cast<isa::PhysReg>(greg));
+}
+
+TEST(FunctionalSim, HaltsImmediately) {
+  FunctionalSim s(assemble_or_throw("halt\n"));
+  const auto res = s.run();
+  EXPECT_TRUE(res.halted);
+  EXPECT_EQ(res.packets, 1u);
+}
+
+TEST(FunctionalSim, SetloAndAdd) {
+  const char* src = R"(
+    setlo g3, 40
+    setlo g4, 2
+    add g5, g3, g4
+    halt
+  )";
+  EXPECT_EQ(run_and_read_g(src, 5), 42u);
+}
+
+TEST(FunctionalSim, WideConstantsViaSethiOrlo) {
+  const char* src = R"(
+    sethi g3, 0x1234
+    orlo g3, 0x5678
+    halt
+  )";
+  EXPECT_EQ(run_and_read_g(src, 3), 0x12345678u);
+}
+
+TEST(FunctionalSim, PacketParallelReadSemantics) {
+  // Both slots read the pre-packet value of g3: the swap idiom works.
+  const char* src = R"(
+    setlo g3, 7
+    setlo g4, 9
+    mov g3, g4 | mov g4, g3
+    halt
+  )";
+  FunctionalSim s(assemble_or_throw(src));
+  s.run();
+  EXPECT_EQ(s.state().read(3), 9u);
+  EXPECT_EQ(s.state().read(4), 7u);
+}
+
+TEST(FunctionalSim, LoopWithBranch) {
+  // Sum 1..10 with a down-counting loop.
+  const char* src = R"(
+    setlo g3, 10      # i
+    setlo g4, 0       # sum
+  loop:
+    add g4, g4, g3
+    addi g3, g3, -1
+    bnz g3, loop
+    halt
+  )";
+  EXPECT_EQ(run_and_read_g(src, 4), 55u);
+}
+
+TEST(FunctionalSim, CallAndReturn) {
+  const char* src = R"(
+    setlo g3, 5
+    call double_it
+    add g5, g4, g0     # g5 = result
+    halt
+  double_it:
+    add g4, g3, g3
+    ret
+  )";
+  EXPECT_EQ(run_and_read_g(src, 5), 10u);
+}
+
+TEST(FunctionalSim, DataSectionLoadStore) {
+  const char* src = R"(
+    .data
+  vals: .word 11, 22, 33
+  out:  .space 4
+    .code
+    sethi g3, %hi(vals)
+    orlo g3, %lo(vals)
+    ldwi g4, g3, 0
+    ldwi g5, g3, 4
+    ldwi g6, g3, 8
+    add g7, g4, g5
+    add g7, g7, g6
+    sethi g8, %hi(out)
+    orlo g8, %lo(out)
+    stwi g7, g8, 0
+    halt
+  )";
+  FunctionalSim s(assemble_or_throw(src));
+  s.run();
+  EXPECT_EQ(s.state().read(7), 66u);
+  const Addr out = s.program().image().symbol("out");
+  EXPECT_EQ(s.memory().read_u32(out), 66u);
+}
+
+TEST(FunctionalSim, ConsoleTrapOutput) {
+  const char* src = R"(
+    setlo g3, 123
+    trap g0, g3, 0
+    halt
+  )";
+  FunctionalSim s(assemble_or_throw(src));
+  s.run();
+  EXPECT_EQ(s.console(), "123\n");
+}
+
+TEST(FunctionalSim, LocalRegistersArePerFu) {
+  // Write l0 on FU1 and FU2 in one packet; they are distinct registers.
+  const char* src = R"(
+    nop | setlo l0, 5 | setlo l0, 6
+    nop | add g3, l0, g0 | add g4, l0, g0
+    halt
+  )";
+  FunctionalSim s(assemble_or_throw(src));
+  s.run();
+  EXPECT_EQ(s.state().read(3), 5u);
+  EXPECT_EQ(s.state().read(4), 6u);
+}
+
+TEST(FunctionalSim, GlobalZeroRegisterIsImmutable) {
+  const char* src = R"(
+    setlo g0, 99
+    add g3, g0, g0
+    halt
+  )";
+  EXPECT_EQ(run_and_read_g(src, 3), 0u);
+}
+
+TEST(FunctionalSim, PairLoadStoreRoundTrip) {
+  const char* src = R"(
+    .data
+  v: .long 0x1122334455667788
+  o: .space 8
+    .code
+    sethi g3, %hi(v)
+    orlo g3, %lo(v)
+    ldli g4, g3, 0        # g4 = high word, g5 = low word
+    sethi g6, %hi(o)
+    orlo g6, %lo(o)
+    stli g4, g6, 0
+    halt
+  )";
+  FunctionalSim s(assemble_or_throw(src));
+  s.run();
+  EXPECT_EQ(s.state().read(4), 0x11223344u);
+  EXPECT_EQ(s.state().read(5), 0x55667788u);
+  EXPECT_EQ(s.memory().read_u64(s.program().image().symbol("o")),
+            0x1122334455667788ull);
+}
+
+TEST(FunctionalSim, GroupLoadFillsEightRegisters) {
+  const char* src = R"(
+    .data
+    .align 32
+  v: .word 1, 2, 3, 4, 5, 6, 7, 8
+    .code
+    sethi g3, %hi(v)
+    orlo g3, %lo(v)
+    ldgi g8, g3, 0
+    halt
+  )";
+  FunctionalSim s(assemble_or_throw(src));
+  s.run();
+  for (u32 i = 0; i < 8; ++i) EXPECT_EQ(s.state().read(8 + i), i + 1);
+}
+
+TEST(FunctionalSim, GettickCountsPackets) {
+  const char* src = R"(
+    nop
+    nop
+    gettick g3
+    halt
+  )";
+  // Two packets have executed when gettick runs.
+  EXPECT_EQ(run_and_read_g(src, 3), 2u);
+}
+
+TEST(FunctionalSim, JumpToNonPacketBoundaryFaults) {
+  const char* src = R"(
+    setlo g3, 2
+    jmpl g4, g3
+    halt
+  )";
+  FunctionalSim s(assemble_or_throw(src));
+  EXPECT_THROW(s.run(), Error);
+}
+
+} // namespace
+} // namespace majc

@@ -1,0 +1,198 @@
+// Geometry codec and GPP device tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/gpp/gpp.h"
+#include "src/mem/memsys.h"
+#include "src/soc/ports.h"
+
+namespace majc {
+namespace {
+
+using gpp::BitReader;
+using gpp::BitWriter;
+using gpp::Mesh;
+
+TEST(BitIo, RoundTripVariousWidths) {
+  BitWriter w;
+  w.put(0x5, 3);
+  w.put(0x12345678, 32);
+  w.put(0, 1);
+  w.put(0x7FF, 11);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get(3), 0x5u);
+  EXPECT_EQ(r.get(32), 0x12345678u);
+  EXPECT_EQ(r.get(1), 0u);
+  EXPECT_EQ(r.get(11), 0x7FFu);
+}
+
+TEST(BitIo, TruncatedStreamFaults) {
+  BitWriter w;
+  w.put(0xAB, 8);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  r.get(8);
+  EXPECT_THROW(r.get(1), Error);
+}
+
+class GeometryRoundTrip : public ::testing::TestWithParam<u32> {};
+
+TEST_P(GeometryRoundTrip, PositionsWithinQuantizationError) {
+  const Mesh mesh = gpp::make_test_mesh(GetParam(), /*seed=*/GetParam());
+  const auto stream = gpp::compress(mesh);
+  const Mesh out = gpp::decompress(stream);
+  ASSERT_EQ(out.vertices.size(), mesh.vertices.size());
+  const double tol = gpp::position_tolerance() * 1.01;
+  for (std::size_t i = 0; i < mesh.vertices.size(); ++i) {
+    const auto& a = mesh.vertices[i];
+    const auto& b = out.vertices[i];
+    EXPECT_NEAR(a.x, b.x, tol);
+    EXPECT_NEAR(a.y, b.y, tol);
+    EXPECT_NEAR(a.z, b.z, tol);
+    EXPECT_NEAR(a.nx, b.nx, 0.01);
+    EXPECT_NEAR(a.ny, b.ny, 0.01);
+    EXPECT_NEAR(a.nz, b.nz, 0.01);
+    EXPECT_EQ(a.r, b.r);
+    EXPECT_EQ(a.g, b.g);
+    EXPECT_EQ(a.b, b.b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeometryRoundTrip,
+                         ::testing::Values(3u, 10u, 64u, 257u, 1000u, 5000u));
+
+TEST(Geometry, CompressionRatioIsSubstantial) {
+  const Mesh mesh = gpp::make_test_mesh(4096, 7);
+  const auto stream = gpp::compress(mesh);
+  const double ratio = gpp::compression_ratio(mesh, stream);
+  EXPECT_GT(ratio, 3.0) << "stream bytes: " << stream.size();
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(Geometry, EmptyMeshRoundTrips) {
+  const Mesh empty;
+  const auto stream = gpp::compress(empty);
+  EXPECT_EQ(gpp::decompress(stream).vertices.size(), 0u);
+  EXPECT_EQ(empty.triangle_count(), 0u);
+}
+
+TEST(Geometry, BadMagicFaults) {
+  std::vector<u8> junk(16, 0xEE);
+  EXPECT_THROW(gpp::decompress(junk), Error);
+}
+
+TEST(Gpp, BatchesCoverAllVerticesAndTriangles) {
+  mem::MemorySystem ms({});
+  gpp::Gpp g(ms);
+  const Mesh mesh = gpp::make_test_mesh(1000, 3);
+  const auto stream = gpp::compress(mesh);
+  Mesh decoded;
+  const auto batches = g.decode_and_distribute(stream, 0, decoded);
+  u64 verts = 0, tris = 0;
+  Cycle prev_ready = 0;
+  for (const auto& b : batches) {
+    verts += b.vertex_count;
+    tris += b.triangle_count;
+    EXPECT_GE(b.decoded_at, prev_ready);  // stream parses in order
+    prev_ready = b.decoded_at;
+  }
+  EXPECT_EQ(verts, mesh.vertices.size());
+  EXPECT_EQ(tris, mesh.triangle_count());
+}
+
+TEST(Gpp, LoadBalancerSplitsWorkEvenly) {
+  mem::MemorySystem ms({});
+  gpp::Gpp g(ms);
+  const Mesh mesh = gpp::make_test_mesh(20000, 11);
+  const auto stream = gpp::compress(mesh);
+  const auto res = g.simulate_pipeline(stream, /*cpu_cycles_per_vertex=*/12.0);
+  EXPECT_EQ(res.triangles, mesh.triangle_count());
+  EXPECT_GT(res.balance(), 0.95);
+  EXPECT_GT(res.mtris_per_sec(), 0.0);
+}
+
+TEST(Gpp, ThroughputScalesWithCpuSpeed) {
+  mem::MemorySystem ms({});
+  gpp::Gpp g(ms);
+  const auto stream = gpp::compress(gpp::make_test_mesh(20000, 11));
+  const auto slow = g.simulate_pipeline(stream, 40.0);
+  const auto fast = g.simulate_pipeline(stream, 10.0);
+  EXPECT_GT(fast.mtris_per_sec(), 2.0 * slow.mtris_per_sec());
+}
+
+
+TEST(Gpp, NupaFedPipelineExercisesTheFifo) {
+  mem::MemorySystem ms({});
+  sim::FlatMemory mem(1 << 20);
+  soc::NupaPort nupa(ms, mem);
+  gpp::Gpp g(ms);
+  const auto stream = gpp::compress(gpp::make_test_mesh(8000, 21));
+  const auto res = g.simulate_pipeline_from_nupa(nupa, stream, 14.0);
+  EXPECT_EQ(res.vertices, 8000u);
+  EXPECT_GT(nupa.fifo().total_pushed(), stream.size() - 1);
+  EXPECT_EQ(nupa.fifo().occupancy(), 0u);  // fully drained
+  // The FIFO path can only add latency relative to the direct path.
+  mem::MemorySystem ms2({});
+  gpp::Gpp g2(ms2);
+  const auto direct = g2.simulate_pipeline(stream, 14.0);
+  EXPECT_GE(res.cycles, direct.cycles);
+  EXPECT_EQ(res.triangles, direct.triangles);
+}
+
+TEST(Gpp, NupaFedPipelineRespectsLineRate) {
+  // A tiny parse rate makes ingest consumer-bound; a huge one makes the
+  // UPA line rate (2 GB/s = 4 B/cycle) the floor.
+  mem::MemorySystem ms({});
+  sim::FlatMemory mem(1 << 20);
+  const auto stream = gpp::compress(gpp::make_test_mesh(8000, 22));
+  gpp::GppConfig fast;
+  fast.decode_bytes_per_cycle = 1000.0;
+  gpp::Gpp g(ms, fast);
+  soc::NupaPort nupa(ms, mem);
+  const auto res = g.simulate_pipeline_from_nupa(nupa, stream, 0.1);
+  // Ingest floor: bytes / 4 per cycle.
+  EXPECT_GE(res.cycles + 16, static_cast<Cycle>(stream.size() / 4.0));
+}
+
+
+class StripCounts : public ::testing::TestWithParam<u32> {};
+
+TEST_P(StripCounts, RestartsSurviveCompression) {
+  const Mesh mesh = gpp::make_test_mesh(999, 3, GetParam());
+  const auto stream = gpp::compress(mesh);
+  const Mesh out = gpp::decompress(stream);
+  EXPECT_EQ(out.strip_starts, mesh.strip_starts);
+  EXPECT_EQ(out.triangle_count(), mesh.triangle_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Strips, StripCounts,
+                         ::testing::Values(1u, 2u, 7u, 50u));
+
+TEST(Geometry, TriangleCountHonoursStrips) {
+  // 10 vertices in 2 strips of 5: each strip closes 3 triangles.
+  Mesh m = gpp::make_test_mesh(10, 1, 2);
+  ASSERT_EQ(m.strip_starts, (std::vector<u32>{0, 5}));
+  EXPECT_EQ(m.triangle_count(), 6u);
+  EXPECT_EQ(m.triangles_before(0), 0u);
+  EXPECT_EQ(m.triangles_before(3), 1u);
+  EXPECT_EQ(m.triangles_before(5), 3u);
+  EXPECT_EQ(m.triangles_before(7), 3u);  // new strip: first 2 close nothing
+  EXPECT_EQ(m.triangles_before(8), 4u);
+}
+
+TEST(Gpp, BatchTrianglesRespectStrips) {
+  mem::MemorySystem ms({});
+  gpp::Gpp g(ms);
+  const Mesh mesh = gpp::make_test_mesh(1000, 3, 9);
+  const auto stream = gpp::compress(mesh);
+  Mesh decoded;
+  const auto batches = g.decode_and_distribute(stream, 0, decoded);
+  u64 tris = 0;
+  for (const auto& b : batches) tris += b.triangle_count;
+  EXPECT_EQ(tris, mesh.triangle_count());
+}
+
+} // namespace
+} // namespace majc

@@ -1,0 +1,207 @@
+// ISA layer tests: opcode metadata invariants, instruction encode/decode
+// round trips (property-swept over the whole opcode space), packet rules,
+// and disassembler round trips through the assembler.
+#include <gtest/gtest.h>
+
+#include "src/isa/disasm.h"
+#include "src/isa/encoding.h"
+#include "src/masm/assembler.h"
+#include "src/support/rng.h"
+
+namespace majc {
+namespace {
+
+using isa::Form;
+using isa::Instr;
+using isa::Op;
+
+TEST(OpcodeTable, MetadataInvariants) {
+  for (u32 i = 0; i < isa::kNumOpcodes; ++i) {
+    const auto op = static_cast<Op>(i);
+    const auto& info = isa::op_info(op);
+    EXPECT_FALSE(info.mnemonic.empty());
+    EXPECT_NE(info.fu_mask, 0);
+    EXPECT_GE(info.latency, 1);
+    EXPECT_GE(info.issue_interval, 1);
+    EXPECT_LE(info.issue_interval, info.latency);
+    // Memory and control ops are FU0-only except nop.
+    if (info.is_mem() && op != Op::kNop) {
+      EXPECT_EQ(info.fu_mask, isa::kFu0) << info.mnemonic;
+    }
+    // Non-pipelined ops are the 6-cycle iterative family.
+    if (info.issue_interval == info.latency && info.latency > 2) {
+      EXPECT_EQ(info.fu_mask, isa::kFu0) << info.mnemonic;
+    }
+    // Mnemonics resolve back to the same opcode.
+    Op back;
+    ASSERT_TRUE(isa::op_from_name(info.mnemonic, back)) << info.mnemonic;
+    EXPECT_EQ(back, op);
+  }
+}
+
+TEST(OpcodeTable, UnknownMnemonicRejected) {
+  Op op;
+  EXPECT_FALSE(isa::op_from_name("bogus", op));
+}
+
+/// Build a random-but-valid instruction for an opcode.
+Instr random_instr(Op op, SplitMix64& rng) {
+  const auto& info = isa::op_info(op);
+  Instr in;
+  in.op = op;
+  auto reg = [&](bool pair, bool group) -> isa::RegSpec {
+    if (group) return static_cast<isa::RegSpec>(8 * rng.next_below(11));
+    if (pair) return static_cast<isa::RegSpec>(2 * rng.next_below(47));
+    return static_cast<isa::RegSpec>(rng.next_below(128));
+  };
+  switch (info.form) {
+    case Form::kR:
+      in.rd = reg(info.has(isa::kRdPair), info.has(isa::kRdGroup));
+      in.rs1 = reg(info.has(isa::kRs1Pair), false);
+      in.rs2 = reg(info.has(isa::kRs2Pair), false);
+      if (info.has(isa::kHasSub)) {
+        // Memory attribute 3 is reserved; SIMD uses all four modes.
+        in.sub = static_cast<u8>(rng.next_below(info.is_mem() ? 3 : 4));
+      }
+      break;
+    case Form::kI:
+      in.rd = reg(info.has(isa::kRdPair), info.has(isa::kRdGroup));
+      in.rs1 = reg(false, false);
+      in.imm = rng.next_range(-256, 255);
+      break;
+    case Form::kL:
+      in.rd = reg(false, false);
+      in.imm = rng.next_range(-32768, 32767);
+      break;
+    case Form::kJ:
+      in.imm = rng.next_range(-(1 << 22), (1 << 22) - 1);
+      break;
+    case Form::kN:
+      if (info.writes_rd()) in.rd = reg(false, false);
+      break;
+  }
+  return in;
+}
+
+TEST(Encoding, RoundTripsEveryOpcode) {
+  SplitMix64 rng(99);
+  for (u32 i = 0; i < isa::kNumOpcodes; ++i) {
+    const auto op = static_cast<Op>(i);
+    for (int trial = 0; trial < 50; ++trial) {
+      const Instr in = random_instr(op, rng);
+      const u32 word = isa::encode_instr(in);
+      EXPECT_EQ(isa::decode_instr(word), in) << isa::op_info(op).mnemonic;
+      // Header bits stay clear for slot packing.
+      EXPECT_EQ(word >> 30, 0u);
+    }
+  }
+}
+
+TEST(Encoding, ImmediateOverflowRejected) {
+  Instr in;
+  in.op = Op::kAddi;
+  in.imm = 300;  // > simm9
+  EXPECT_THROW(isa::encode_instr(in), Error);
+  in.imm = -257;
+  EXPECT_THROW(isa::encode_instr(in), Error);
+}
+
+TEST(Encoding, PacketHeaderCarriesWidth) {
+  for (u32 width = 1; width <= 4; ++width) {
+    isa::Packet p;
+    p.width = width;
+    p.slot[0].op = Op::kNop;
+    for (u32 i = 1; i < width; ++i) p.slot[i].op = Op::kAdd;
+    const auto words = isa::encode_packet(p);
+    ASSERT_EQ(words.size(), width);
+    EXPECT_EQ(words[0] >> 30, width - 1);
+    EXPECT_EQ(isa::decode_packet(words), p);
+  }
+}
+
+TEST(Encoding, SlotFuRulesEnforced) {
+  isa::Packet p;
+  p.width = 2;
+  p.slot[0].op = Op::kAdd;   // fine on FU0
+  p.slot[1].op = Op::kLdw;   // memory op in slot 1: illegal
+  EXPECT_THROW(isa::encode_packet(p), Error);
+
+  p.slot[1].op = Op::kFmadd;  // FU1 compute: fine
+  EXPECT_NO_THROW(isa::encode_packet(p));
+
+  // FU1-3-only op in slot 0 is illegal.
+  p.slot[0].op = Op::kPick;
+  EXPECT_THROW(isa::encode_packet(p), Error);
+}
+
+TEST(Encoding, PairAlignmentEnforced) {
+  isa::Packet p;
+  p.width = 1;
+  p.slot[0].op = Op::kLdl;
+  p.slot[0].rd = 3;  // odd: invalid pair base
+  EXPECT_THROW(isa::encode_packet(p), Error);
+  p.slot[0].rd = 94;  // 94,95 within globals: fine
+  EXPECT_NO_THROW(isa::encode_packet(p));
+  p.slot[0].op = Op::kLdg;
+  p.slot[0].rd = 92;  // group would cross the global/local boundary
+  EXPECT_THROW(isa::encode_packet(p), Error);
+}
+
+TEST(Disasm, RoundTripsThroughAssembler) {
+  // Assemble a program, disassemble every packet, reassemble the listing;
+  // the code bytes must be identical.
+  const char* src = R"(
+    setlo g3, -42
+    sethi g4, 0x1234
+    orlo g4, 0x5678
+    ldwi g5, g4, 8 | padd.s l0, g3, g4 | pmadds15.b l1, g3, g3
+    stl g6, g4, g0 | fmadd l2, g5, g5 | dotp g7, g3, g3 | dadd l4, g6, g6
+    pref g0, g4, g0
+    getcpu g8
+    nop | bext g9, g6, g3 | lzd g10, g9 | bshuf g11, g3, g4
+    halt
+  )";
+  const masm::Image img = masm::assemble_or_throw(src);
+  std::string listing;
+  std::size_t w = 0;
+  while (w < img.code.size()) {
+    const auto p = isa::decode_packet(
+        std::span<const u32>(img.code).subspan(w));
+    listing += isa::disasm_packet(p) + "\n";
+    w += p.width;
+  }
+  const masm::Image again = masm::assemble_or_throw(listing);
+  EXPECT_EQ(img.code, again.code);
+}
+
+TEST(Disasm, FuzzRoundTrip) {
+  // Random single-instruction packets survive disasm -> asm -> encode.
+  SplitMix64 rng(1234);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto op = static_cast<Op>(rng.next_below(isa::kNumOpcodes));
+    const auto& info = isa::op_info(op);
+    if (info.has(isa::kBranch) || info.has(isa::kCall)) continue;  // need labels
+    Instr in = random_instr(op, rng);
+    u32 fu = 0;
+    while ((info.fu_mask & (1u << fu)) == 0) ++fu;
+    isa::Packet p;
+    p.width = fu + 1;
+    for (u32 s = 0; s < fu; ++s) p.slot[s].op = Op::kNop;
+    p.slot[fu] = in;
+    std::vector<u32> words;
+    try {
+      words = isa::encode_packet(p);
+    } catch (const Error&) {
+      continue;  // random operands occasionally violate pair rules
+    }
+    const masm::Image img =
+        masm::assemble_or_throw(isa::disasm_packet(p) + "\nhalt\n");
+    ASSERT_GE(img.code.size(), words.size());
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      EXPECT_EQ(img.code[i], words[i]) << isa::disasm_packet(p);
+    }
+  }
+}
+
+} // namespace
+} // namespace majc

@@ -1,0 +1,111 @@
+// Validation of the golden models themselves: the fixed-point reference
+// transforms must agree with straightforward double-precision math to
+// quantization accuracy, so "kernel == golden" tests actually pin the
+// kernels to the right function.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/kernels/convolve.h"
+#include "src/kernels/dct_common.h"
+#include "src/kernels/idct.h"
+#include "src/kernels/vld.h"
+#include "src/support/rng.h"
+
+namespace majc {
+namespace {
+
+/// Double precision 2-D IDCT.
+void idct_double(const i16* in, double* out) {
+  auto c = [](int u) { return u == 0 ? 1.0 / std::sqrt(2.0) : 1.0; };
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      double acc = 0;
+      for (int u = 0; u < 8; ++u) {
+        for (int v = 0; v < 8; ++v) {
+          acc += 0.25 * c(u) * c(v) * in[u * 8 + v] *
+                 std::cos((2 * y + 1) * u * std::numbers::pi / 16.0) *
+                 std::cos((2 * x + 1) * v * std::numbers::pi / 16.0);
+        }
+      }
+      out[y * 8 + x] = acc;
+    }
+  }
+}
+
+class IdctAccuracy : public ::testing::TestWithParam<u64> {};
+
+TEST_P(IdctAccuracy, FixedPointTracksDoublePrecision) {
+  SplitMix64 rng(GetParam());
+  i16 in[64];
+  in[0] = static_cast<i16>(rng.next_range(-800, 800));
+  for (int i = 1; i < 64; ++i) in[i] = static_cast<i16>(rng.next_range(-150, 150));
+
+  i16 fixed[64];
+  kernels::idct8x8_reference(in, fixed);
+  double exact[64];
+  idct_double(in, exact);
+  for (int i = 0; i < 64; ++i) {
+    // Two 11-bit-scaled passes: error stays within a few LSBs.
+    EXPECT_NEAR(static_cast<double>(fixed[i]), exact[i], 3.0) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdctAccuracy, ::testing::Values(1u, 2u, 3u, 9u));
+
+TEST(DctMatrices, ForwardTimesInverseIsNearIdentity) {
+  const auto f = kernels::fdct_matrix();
+  const auto inv = kernels::idct_matrix();
+  const double scale = 1 << kernels::kDctShift;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      double acc = 0;
+      for (int k = 0; k < 8; ++k) {
+        acc += (inv[i * 8 + k] / scale) * (f[k * 8 + j] / scale);
+      }
+      EXPECT_NEAR(acc, i == j ? 1.0 : 0.0, 2e-3) << i << "," << j;
+    }
+  }
+}
+
+TEST(ConvolveReference, MatchesDirect2dConvolution) {
+  // The separable golden equals the direct 5x5 form on a small crop.
+  std::vector<i16> img(kernels::kConvW * kernels::kConvH, 0);
+  SplitMix64 rng(5);
+  for (auto& p : img) p = static_cast<i16>(rng.next_below(256));
+  std::vector<i16> out;
+  kernels::convolve5x5_reference(img, out);
+  for (u32 y = 0; y < 4; ++y) {
+    for (u32 x = 0; x < 16; ++x) {
+      i32 direct = 0;
+      for (u32 r = 0; r < 5; ++r) {
+        for (u32 k = 0; k < 5; ++k) {
+          direct += kernels::kConvCoef[r] * kernels::kConvCoef[k] *
+                    img[(y + r) * kernels::kConvW + x + k];
+        }
+      }
+      EXPECT_EQ(out[y * kernels::kConvOutW + x], static_cast<i16>(direct));
+    }
+  }
+}
+
+TEST(VldReference, EncodeDecodeRoundTripsSymbols) {
+  const auto syms = kernels::make_vld_symbols(33);
+  const auto stream = kernels::encode_vld_stream(syms);
+  // Decoding the whole stream touches each encoded (run, level) exactly;
+  // verify via the final block against an independent in-place decode.
+  i16 block[64];
+  kernels::vld_reference(stream, kernels::kVldSymbols, block);
+  i16 expect[64] = {};
+  u32 idx = 63;
+  for (const auto& s : syms) {
+    idx = (idx + s.run + 1) & 63u;
+    expect[kernels::vld_zigzag_table()[idx]] =
+        static_cast<i16>(s.level * kernels::kVldQscale);
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(block[i], expect[i]) << i;
+}
+
+} // namespace
+} // namespace majc

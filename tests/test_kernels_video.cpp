@@ -1,0 +1,160 @@
+// Correctness + timing-sanity tests for the Table 1 video/image kernels.
+#include <gtest/gtest.h>
+
+#include "src/kernels/color_convert.h"
+#include "src/kernels/convolve.h"
+#include "src/kernels/dct_quant.h"
+#include "src/kernels/idct.h"
+#include "src/kernels/mb_decode.h"
+#include "src/kernels/motion_est.h"
+#include "src/kernels/transform_light.h"
+#include "src/kernels/vld.h"
+
+namespace majc {
+namespace {
+
+using kernels::run_kernel;
+using kernels::run_kernel_functional;
+
+class IdctSeeds : public ::testing::TestWithParam<u64> {};
+
+TEST_P(IdctSeeds, MatchesGoldenBitExactly) {
+  const auto run = run_kernel_functional(kernels::make_idct_spec(GetParam()));
+  EXPECT_TRUE(run.valid) << run.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdctSeeds, ::testing::Values(1u, 2u, 9u, 31u));
+
+TEST(Idct, CycleCountNearPaper) {
+  const auto run = run_kernel(kernels::make_idct_spec(1));
+  EXPECT_TRUE(run.valid) << run.message;
+  // Paper: 304 cycles per 8x8 block.
+  EXPECT_GT(run.kernel_cycles, 150u);
+  EXPECT_LT(run.kernel_cycles, 700u);
+}
+
+class DctSeeds : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DctSeeds, MatchesGoldenBitExactly) {
+  const auto run =
+      run_kernel_functional(kernels::make_dct_quant_spec(GetParam()));
+  EXPECT_TRUE(run.valid) << run.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DctSeeds, ::testing::Values(1u, 7u, 21u));
+
+TEST(DctQuant, CycleCountNearPaper) {
+  const auto run = run_kernel(kernels::make_dct_quant_spec(1));
+  EXPECT_TRUE(run.valid) << run.message;
+  // Paper: 200 cycles per 8x8 block (DCT + quantization).
+  EXPECT_GT(run.kernel_cycles, 150u);
+  EXPECT_LT(run.kernel_cycles, 800u);
+}
+
+
+class VldSeeds : public ::testing::TestWithParam<u64> {};
+
+TEST_P(VldSeeds, DecodesBitExactly) {
+  const auto run = run_kernel_functional(kernels::make_vld_spec(GetParam()));
+  EXPECT_TRUE(run.valid) << run.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VldSeeds,
+                         ::testing::Values(1u, 2u, 3u, 11u, 77u));
+
+TEST(Vld, CyclesPerSymbolNearPaper) {
+  const auto run = run_kernel(kernels::make_vld_spec(1));
+  EXPECT_TRUE(run.valid) << run.message;
+  const double per_sym =
+      static_cast<double>(run.kernel_cycles) / kernels::kVldSymbols;
+  // Paper: 27 Msymbols/s at 500 MHz = 18.5 cycles/symbol.
+  EXPECT_GT(per_sym, 8.0);
+  EXPECT_LT(per_sym, 40.0);
+}
+
+
+class MeSeeds : public ::testing::TestWithParam<u64> {};
+
+TEST_P(MeSeeds, FindsTheSameVectorAsGolden) {
+  const auto run =
+      run_kernel_functional(kernels::make_motion_est_spec(GetParam()));
+  EXPECT_TRUE(run.valid) << run.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeSeeds,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 23u));
+
+TEST(MotionEst, CycleCountNearPaper) {
+  const auto run = run_kernel(kernels::make_motion_est_spec(1));
+  EXPECT_TRUE(run.valid) << run.message;
+  // Paper: ~3000 cycles for a +/-16 log search.
+  EXPECT_GT(run.kernel_cycles, 1500u);
+  EXPECT_LT(run.kernel_cycles, 9000u);
+}
+
+
+TEST(Convolve, MatchesGoldenExactly) {
+  const auto run = run_kernel_functional(kernels::make_convolve_spec(1));
+  EXPECT_TRUE(run.valid) << run.message;
+}
+
+TEST(Convolve, CycleCountNearPaper) {
+  const auto run = run_kernel(kernels::make_convolve_spec(1));
+  EXPECT_TRUE(run.valid) << run.message;
+  // Paper: 1.65 Mcycles for 512x512.
+  EXPECT_GT(run.kernel_cycles, 800000u);
+  EXPECT_LT(run.kernel_cycles, 4000000u);
+}
+
+TEST(ColorConvert, MatchesGoldenExactly) {
+  const auto run = run_kernel_functional(kernels::make_color_convert_spec(1));
+  EXPECT_TRUE(run.valid) << run.message;
+}
+
+TEST(ColorConvert, CycleCountNearPaper) {
+  const auto run = run_kernel(kernels::make_color_convert_spec(1));
+  EXPECT_TRUE(run.valid) << run.message;
+  // Paper: 0.9 Mcycles for 512x512.
+  EXPECT_GT(run.kernel_cycles, 500000u);
+  EXPECT_LT(run.kernel_cycles, 3000000u);
+}
+
+
+class TlSeeds : public ::testing::TestWithParam<u64> {};
+
+TEST_P(TlSeeds, MatchesGoldenBitExactly) {
+  const auto run = run_kernel_functional(
+      kernels::make_transform_light_spec(64, GetParam()));
+  EXPECT_TRUE(run.valid) << run.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TlSeeds, ::testing::Values(1u, 2u, 13u));
+
+TEST(TransformLight, PerVertexCostSupportsPaperTriangleRate) {
+  const double cpv = kernels::measure_tl_cycles_per_vertex();
+  // 60-90 Mtri/s across two 500 MHz CPUs needs <= ~16 cycles/vertex.
+  EXPECT_GT(cpv, 5.0);
+  EXPECT_LT(cpv, 25.0);
+}
+
+
+class MbSeeds : public ::testing::TestWithParam<u64> {};
+
+TEST_P(MbSeeds, ComposedMacroblockDecodeMatchesGolden) {
+  const auto run =
+      run_kernel_functional(kernels::make_mb_decode_spec(GetParam()));
+  EXPECT_TRUE(run.valid) << run.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MbSeeds, ::testing::Values(1u, 2u, 8u));
+
+TEST(MbDecode, PerMacroblockBudgetIsPlausible) {
+  const auto run = run_kernel(kernels::make_mb_decode_spec(1));
+  EXPECT_TRUE(run.valid) << run.message;
+  // 6 blocks x (40 symbols x ~24 cy + IDCT ~320 cy) ~= 8-10k cycles.
+  EXPECT_GT(run.kernel_cycles, 4000u);
+  EXPECT_LT(run.kernel_cycles, 20000u);
+}
+
+} // namespace
+} // namespace majc

@@ -1,0 +1,149 @@
+// Static schedule checker tests: detection of too-early reads of
+// deterministic results, bypass-aware distances, load exemption, and
+// block-boundary resets.
+#include <gtest/gtest.h>
+
+#include "src/cpu/schedule_check.h"
+#include "src/kernels/biquad.h"
+#include "src/kernels/fir.h"
+#include "src/kernels/idct.h"
+#include "src/masm/assembler.h"
+
+namespace majc {
+namespace {
+
+cpu::ScheduleReport check(const char* src) {
+  return cpu::check_schedule(masm::assemble_or_throw(src));
+}
+
+TEST(ScheduleCheck, BackToBackMultiplyIsFlagged) {
+  // mul has latency 2: an immediate consumer reads one cycle early.
+  const auto rep = check(R"(
+    setlo g3, 4
+    nop
+    nop | mul g4, g3, g3
+    nop | add g5, g4, g3
+    halt
+  )");
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_EQ(rep.violations[0].shortfall, 1u);
+  EXPECT_EQ(rep.violations[0].slot, 1u);
+}
+
+TEST(ScheduleCheck, ProperlySpacedMultiplyIsClean) {
+  EXPECT_TRUE(check(R"(
+    setlo g3, 4
+    nop
+    nop | mul g4, g3, g3
+    nop
+    nop | add g5, g4, g3
+    halt
+  )").clean());
+}
+
+TEST(ScheduleCheck, Fp32NeedsFourCycles) {
+  const auto rep = check(R"(
+    setlo g3, 4
+    nop
+    nop | fadd g4, g3, g3
+    nop | fadd g5, g4, g3
+    halt
+  )");
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_EQ(rep.violations[0].shortfall, 3u);
+}
+
+TEST(ScheduleCheck, BypassMatrixShapesTheDistance) {
+  // FU1 -> FU0 forwards with no delay: back-to-back is legal.
+  EXPECT_TRUE(check(R"(
+    setlo g3, 4
+    nop
+    nop | add g4, g3, g3
+    add g5, g4, g3
+    halt
+  )").clean());
+  // FU1 -> FU2 goes through write-back: back-to-back reads 2 early.
+  const auto rep = check(R"(
+    setlo g3, 4
+    nop
+    nop | add g4, g3, g3
+    nop | nop | add g5, g4, g3
+    halt
+  )");
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_EQ(rep.violations[0].shortfall, 2u);
+}
+
+TEST(ScheduleCheck, LoadsAreInterlockedNotFlagged) {
+  // The hardware scoreboards loads; an immediate use is legal (if slow).
+  EXPECT_TRUE(check(R"(
+    setlo g3, 4096
+    ldwi g4, g3, 0
+    add g5, g4, g4
+    halt
+  )").clean());
+}
+
+TEST(ScheduleCheck, BranchTargetResetsTheWindow) {
+  // The producer sits right before the loop label; the consumer at the
+  // label would be early on the fall-through path, but block-boundary
+  // conservatism resets state, so no violation is reported.
+  EXPECT_TRUE(check(R"(
+    setlo g3, 4
+    nop
+    nop | mul g4, g3, g3
+  loop:
+    nop | add g5, g4, g3
+    addi g3, g3, -1
+    bnz g3, loop
+    halt
+  )").clean());
+}
+
+TEST(ScheduleCheck, SamePacketReadsPreviousValueLegally) {
+  // Parallel read semantics: a packet reading a register another slot
+  // writes sees the old (long-settled) value -> clean.
+  EXPECT_TRUE(check(R"(
+    setlo g3, 1
+    setlo g4, 2
+    nop
+    add g3, g4, g4 | add g4, g3, g3
+    halt
+  )").clean());
+}
+
+TEST(ScheduleCheck, KernelsRelyOnInterlocksOnlyWhereExpected) {
+  // The matrix-scheduled IDCT is fully latency-clean; the FIR keeps its
+  // residual reliance on interlocks (reduction fadds) under 10 %; the
+  // biquad cascade deliberately leans on interlocks for its off-critical
+  // state updates, which the checker duly reports.
+  const auto fir = cpu::check_schedule(
+      masm::assemble_or_throw(kernels::make_fir_spec().source));
+  EXPECT_GT(fir.packets_checked, 100u);
+  EXPECT_LT(fir.violations.size(), fir.packets_checked / 10);
+
+  const auto idct = cpu::check_schedule(
+      masm::assemble_or_throw(kernels::make_idct_spec().source));
+  EXPECT_TRUE(idct.clean());
+
+  const auto bq = cpu::check_schedule(
+      masm::assemble_or_throw(kernels::make_biquad_spec().source));
+  EXPECT_GT(bq.violations.size(), 0u);
+  EXPECT_LT(bq.violations.size(), bq.packets_checked / 2);
+}
+
+TEST(ScheduleCheck, ReportFormats) {
+  const auto rep = check(R"(
+    setlo g3, 4
+    nop
+    nop | mul g4, g3, g3
+    nop | add g5, g4, g3
+    halt
+  )");
+  const std::string text = rep.to_string();
+  EXPECT_NE(text.find("1 violation"), std::string::npos);
+  EXPECT_NE(text.find("add"), std::string::npos);
+}
+
+} // namespace
+} // namespace majc

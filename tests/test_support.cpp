@@ -1,0 +1,184 @@
+// Unit tests for the support library: bit ops, saturation, fixed point,
+// RNG determinism, stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/support/bits.h"
+#include "src/support/fixed_point.h"
+#include "src/support/rng.h"
+#include "src/support/saturate.h"
+#include "src/support/stats.h"
+
+namespace majc {
+namespace {
+
+TEST(Bits, ExtractDepositRoundTrip) {
+  u32 w = 0;
+  w = deposit(w, 23, 7, 0x55);
+  w = deposit(w, 16, 7, 0x2A);
+  EXPECT_EQ(bits(w, 23, 7), 0x55u);
+  EXPECT_EQ(bits(w, 16, 7), 0x2Au);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0x1FF, 9), -1);
+  EXPECT_EQ(sign_extend(0x0FF, 9), 255);
+  EXPECT_EQ(sign_extend(0x100, 9), -256);
+  EXPECT_EQ(sign_extend64(0x7FFFFF, 23), -1);
+  EXPECT_EQ(sign_extend64(0x3FFFFF, 23), 0x3FFFFF);
+}
+
+TEST(Bits, FitsSigned) {
+  EXPECT_TRUE(fits_signed(255, 9));
+  EXPECT_TRUE(fits_signed(-256, 9));
+  EXPECT_FALSE(fits_signed(256, 9));
+  EXPECT_FALSE(fits_signed(-257, 9));
+}
+
+TEST(Bits, LeadingZeros) {
+  EXPECT_EQ(leading_zeros(0), 32u);
+  EXPECT_EQ(leading_zeros(1), 31u);
+  EXPECT_EQ(leading_zeros(0x80000000u), 0u);
+  EXPECT_EQ(leading_zeros(0x00010000u), 15u);
+}
+
+TEST(Bits, PixelDistance) {
+  EXPECT_EQ(pixel_distance(0x00000000u, 0x00000000u), 0u);
+  EXPECT_EQ(pixel_distance(0xFF000000u, 0x00000000u), 255u);
+  EXPECT_EQ(pixel_distance(0x01020304u, 0x04030201u), 3u + 1 + 1 + 3);
+}
+
+TEST(Bits, ByteShuffleSelectsAndZeroes) {
+  const u32 hi = 0x00112233, lo = 0x44556677;
+  // Selector nibbles 0..3 pick bytes of hi, 4..7 of lo, >=8 give zero.
+  EXPECT_EQ(byte_shuffle(hi, lo, 0x0123), 0x00112233u);
+  EXPECT_EQ(byte_shuffle(hi, lo, 0x4567), 0x44556677u);
+  EXPECT_EQ(byte_shuffle(hi, lo, 0x7710), 0x77771100u);
+  EXPECT_EQ(byte_shuffle(hi, lo, 0x8F00), 0x00000000u);
+}
+
+TEST(Bits, BitfieldExtractMsbFirst) {
+  // 64-bit value 0xAB.....; pos counts from the MSB.
+  EXPECT_EQ(bitfield_extract(0xAB000000u, 0, 0, 8), 0xABu);
+  EXPECT_EQ(bitfield_extract(0x0000000Fu, 0xF0000000u, 28, 8), 0xFFu);
+  EXPECT_EQ(bitfield_extract(0xFFFFFFFFu, 0xFFFFFFFFu, 10, 0), 0u);
+}
+
+class SatModes : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatModes, LaneBoundsRespected) {
+  const auto mode = static_cast<SatMode>(GetParam());
+  for (i64 v : {i64{-100000}, i64{-32769}, i64{-1}, i64{0}, i64{255},
+                i64{256}, i64{32767}, i64{32768}, i64{70000}}) {
+    const u16 r = saturate_lane(v, mode);
+    switch (mode) {
+      case SatMode::kWrap:
+        EXPECT_EQ(r, static_cast<u16>(v));
+        break;
+      case SatMode::kSigned16:
+        EXPECT_GE(static_cast<i16>(r), -32768);
+        EXPECT_LE(static_cast<i16>(r),
+                  32767);  // always true; bound checks below
+        if (v >= -32768 && v <= 32767) {
+          EXPECT_EQ(static_cast<i16>(r), v);
+        }
+        break;
+      case SatMode::kUnsigned16:
+        if (v >= 0 && v <= 65535) {
+          EXPECT_EQ(r, v);
+        } else if (v < 0) {
+          EXPECT_EQ(r, 0u);
+        } else {
+          EXPECT_EQ(r, 65535u);
+        }
+        break;
+      case SatMode::kByte:
+        if (v < 0) {
+          EXPECT_EQ(r, 0u);
+        } else if (v > 255) {
+          EXPECT_EQ(r, 255u);
+        }
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, SatModes, ::testing::Values(0, 1, 2, 3));
+
+TEST(Saturate, Scalar32) {
+  EXPECT_EQ(sat_add32(2000000000, 2000000000), 2147483647);
+  EXPECT_EQ(sat_add32(-2000000000, -2000000000), -2147483647 - 1);
+  EXPECT_EQ(sat_sub32(-2000000000, 2000000000), -2147483647 - 1);
+  EXPECT_EQ(sat_add32(1, 2), 3);
+}
+
+TEST(FixedPoint, RoundTripS15) {
+  for (double v : {-0.99, -0.5, 0.0, 0.25, 0.73, 0.999}) {
+    EXPECT_NEAR(from_fixed(to_fixed(v, kFracS15), kFracS15), v, 1.0 / 32768);
+  }
+}
+
+TEST(FixedPoint, MulS15) {
+  const u16 half = to_fixed(0.5, kFracS15);
+  const u16 q = fx_mul(half, half, kFracS15, SatMode::kSigned16);
+  EXPECT_NEAR(from_fixed(q, kFracS15), 0.25, 1e-4);
+}
+
+TEST(FixedPoint, DivS213RoundsToNearest) {
+  const u16 three = to_fixed(3.0, kFracS213);
+  const u16 two = to_fixed(2.0, kFracS213);
+  EXPECT_NEAR(from_fixed(fx_div_s213(three, two), kFracS213), 1.5, 1e-3);
+  // Division by zero saturates toward the dividend's sign.
+  EXPECT_EQ(fx_div_s213(three, 0), 0x7FFFu);
+  EXPECT_EQ(fx_div_s213(to_fixed(-1.0, kFracS213), 0), 0x8000u);
+}
+
+TEST(FixedPoint, RsqrtS213) {
+  const u16 four = to_fixed(3.9, kFracS213);
+  EXPECT_NEAR(from_fixed(fx_rsqrt_s213(four), kFracS213), 1.0 / std::sqrt(3.9),
+              1e-3);
+  EXPECT_EQ(fx_rsqrt_s213(0), 0x7FFFu);
+}
+
+TEST(FixedPoint, MulS31Saturates) {
+  const u16 neg1 = 0x8000;  // -1.0 in S.15
+  EXPECT_EQ(fx_mul_s31(neg1, neg1), 0x7FFFFFFF);  // (-1)*(-1)<<1 clamps
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangesRespected) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const i32 v = r.next_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = r.next_double(1.0, 2.0);
+    EXPECT_GE(d, 1.0);
+    EXPECT_LT(d, 2.0);
+  }
+}
+
+TEST(Stats, HistogramMean) {
+  Histogram h(5);
+  h.add(1, 10);
+  h.add(3, 10);
+  EXPECT_EQ(h.total(), 20u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Stats, Counters) {
+  CounterSet c;
+  c.add("x");
+  c.add("x", 4);
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_EQ(c.get("missing"), 0u);
+  EXPECT_NE(c.to_string().find("x"), std::string::npos);
+}
+
+} // namespace
+} // namespace majc
