@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cpu.dir/bench_fig2_cpu.cpp.o"
+  "CMakeFiles/bench_fig2_cpu.dir/bench_fig2_cpu.cpp.o.d"
+  "bench_fig2_cpu"
+  "bench_fig2_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gpp_triangles.dir/bench_gpp_triangles.cpp.o"
+  "CMakeFiles/bench_gpp_triangles.dir/bench_gpp_triangles.cpp.o.d"
+  "bench_gpp_triangles"
+  "bench_gpp_triangles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gpp_triangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_video.dir/bench_table1_video.cpp.o"
+  "CMakeFiles/bench_table1_video.dir/bench_table1_video.cpp.o.d"
+  "bench_table1_video"
+  "bench_table1_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dsp.dir/bench_table2_dsp.cpp.o"
+  "CMakeFiles/bench_table2_dsp.dir/bench_table2_dsp.cpp.o.d"
+  "bench_table2_dsp"
+  "bench_table2_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

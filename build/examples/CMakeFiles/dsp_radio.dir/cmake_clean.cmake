@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_radio.dir/dsp_radio.cpp.o"
+  "CMakeFiles/dsp_radio.dir/dsp_radio.cpp.o.d"
+  "dsp_radio"
+  "dsp_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

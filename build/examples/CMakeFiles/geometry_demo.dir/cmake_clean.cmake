@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_demo.dir/geometry_demo.cpp.o"
+  "CMakeFiles/geometry_demo.dir/geometry_demo.cpp.o.d"
+  "geometry_demo"
+  "geometry_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

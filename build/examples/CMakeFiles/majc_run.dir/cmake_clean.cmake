@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/majc_run.dir/majc_run.cpp.o"
+  "CMakeFiles/majc_run.dir/majc_run.cpp.o.d"
+  "majc_run"
+  "majc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/majc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

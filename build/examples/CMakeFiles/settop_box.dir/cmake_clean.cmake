@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/settop_box.dir/settop_box.cpp.o"
+  "CMakeFiles/settop_box.dir/settop_box.cpp.o.d"
+  "settop_box"
+  "settop_box.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/settop_box.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

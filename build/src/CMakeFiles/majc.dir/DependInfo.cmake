@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/workload.cpp" "src/CMakeFiles/majc.dir/apps/workload.cpp.o" "gcc" "src/CMakeFiles/majc.dir/apps/workload.cpp.o.d"
+  "/root/repo/src/cpu/branch_predictor.cpp" "src/CMakeFiles/majc.dir/cpu/branch_predictor.cpp.o" "gcc" "src/CMakeFiles/majc.dir/cpu/branch_predictor.cpp.o.d"
+  "/root/repo/src/cpu/cycle_cpu.cpp" "src/CMakeFiles/majc.dir/cpu/cycle_cpu.cpp.o" "gcc" "src/CMakeFiles/majc.dir/cpu/cycle_cpu.cpp.o.d"
+  "/root/repo/src/cpu/report.cpp" "src/CMakeFiles/majc.dir/cpu/report.cpp.o" "gcc" "src/CMakeFiles/majc.dir/cpu/report.cpp.o.d"
+  "/root/repo/src/cpu/schedule_check.cpp" "src/CMakeFiles/majc.dir/cpu/schedule_check.cpp.o" "gcc" "src/CMakeFiles/majc.dir/cpu/schedule_check.cpp.o.d"
+  "/root/repo/src/cpu/scoreboard.cpp" "src/CMakeFiles/majc.dir/cpu/scoreboard.cpp.o" "gcc" "src/CMakeFiles/majc.dir/cpu/scoreboard.cpp.o.d"
+  "/root/repo/src/gpp/geometry.cpp" "src/CMakeFiles/majc.dir/gpp/geometry.cpp.o" "gcc" "src/CMakeFiles/majc.dir/gpp/geometry.cpp.o.d"
+  "/root/repo/src/gpp/gpp.cpp" "src/CMakeFiles/majc.dir/gpp/gpp.cpp.o" "gcc" "src/CMakeFiles/majc.dir/gpp/gpp.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/majc.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/majc.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/encoding.cpp" "src/CMakeFiles/majc.dir/isa/encoding.cpp.o" "gcc" "src/CMakeFiles/majc.dir/isa/encoding.cpp.o.d"
+  "/root/repo/src/isa/opcodes.cpp" "src/CMakeFiles/majc.dir/isa/opcodes.cpp.o" "gcc" "src/CMakeFiles/majc.dir/isa/opcodes.cpp.o.d"
+  "/root/repo/src/kernels/biquad.cpp" "src/CMakeFiles/majc.dir/kernels/biquad.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/biquad.cpp.o.d"
+  "/root/repo/src/kernels/bitrev.cpp" "src/CMakeFiles/majc.dir/kernels/bitrev.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/bitrev.cpp.o.d"
+  "/root/repo/src/kernels/cfir.cpp" "src/CMakeFiles/majc.dir/kernels/cfir.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/cfir.cpp.o.d"
+  "/root/repo/src/kernels/color_convert.cpp" "src/CMakeFiles/majc.dir/kernels/color_convert.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/color_convert.cpp.o.d"
+  "/root/repo/src/kernels/convolve.cpp" "src/CMakeFiles/majc.dir/kernels/convolve.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/convolve.cpp.o.d"
+  "/root/repo/src/kernels/dct_common.cpp" "src/CMakeFiles/majc.dir/kernels/dct_common.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/dct_common.cpp.o.d"
+  "/root/repo/src/kernels/dct_quant.cpp" "src/CMakeFiles/majc.dir/kernels/dct_quant.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/dct_quant.cpp.o.d"
+  "/root/repo/src/kernels/fft.cpp" "src/CMakeFiles/majc.dir/kernels/fft.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/fft.cpp.o.d"
+  "/root/repo/src/kernels/fir.cpp" "src/CMakeFiles/majc.dir/kernels/fir.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/fir.cpp.o.d"
+  "/root/repo/src/kernels/idct.cpp" "src/CMakeFiles/majc.dir/kernels/idct.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/idct.cpp.o.d"
+  "/root/repo/src/kernels/kernel.cpp" "src/CMakeFiles/majc.dir/kernels/kernel.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/kernel.cpp.o.d"
+  "/root/repo/src/kernels/lms.cpp" "src/CMakeFiles/majc.dir/kernels/lms.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/lms.cpp.o.d"
+  "/root/repo/src/kernels/max_search.cpp" "src/CMakeFiles/majc.dir/kernels/max_search.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/max_search.cpp.o.d"
+  "/root/repo/src/kernels/mb_decode.cpp" "src/CMakeFiles/majc.dir/kernels/mb_decode.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/mb_decode.cpp.o.d"
+  "/root/repo/src/kernels/motion_est.cpp" "src/CMakeFiles/majc.dir/kernels/motion_est.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/motion_est.cpp.o.d"
+  "/root/repo/src/kernels/peak.cpp" "src/CMakeFiles/majc.dir/kernels/peak.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/peak.cpp.o.d"
+  "/root/repo/src/kernels/transform_light.cpp" "src/CMakeFiles/majc.dir/kernels/transform_light.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/transform_light.cpp.o.d"
+  "/root/repo/src/kernels/vld.cpp" "src/CMakeFiles/majc.dir/kernels/vld.cpp.o" "gcc" "src/CMakeFiles/majc.dir/kernels/vld.cpp.o.d"
+  "/root/repo/src/masm/assembler.cpp" "src/CMakeFiles/majc.dir/masm/assembler.cpp.o" "gcc" "src/CMakeFiles/majc.dir/masm/assembler.cpp.o.d"
+  "/root/repo/src/masm/lexer.cpp" "src/CMakeFiles/majc.dir/masm/lexer.cpp.o" "gcc" "src/CMakeFiles/majc.dir/masm/lexer.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/majc.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/majc.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/crossbar.cpp" "src/CMakeFiles/majc.dir/mem/crossbar.cpp.o" "gcc" "src/CMakeFiles/majc.dir/mem/crossbar.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/majc.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/majc.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/lsu.cpp" "src/CMakeFiles/majc.dir/mem/lsu.cpp.o" "gcc" "src/CMakeFiles/majc.dir/mem/lsu.cpp.o.d"
+  "/root/repo/src/mem/memsys.cpp" "src/CMakeFiles/majc.dir/mem/memsys.cpp.o" "gcc" "src/CMakeFiles/majc.dir/mem/memsys.cpp.o.d"
+  "/root/repo/src/sim/exec_fp.cpp" "src/CMakeFiles/majc.dir/sim/exec_fp.cpp.o" "gcc" "src/CMakeFiles/majc.dir/sim/exec_fp.cpp.o.d"
+  "/root/repo/src/sim/exec_int.cpp" "src/CMakeFiles/majc.dir/sim/exec_int.cpp.o" "gcc" "src/CMakeFiles/majc.dir/sim/exec_int.cpp.o.d"
+  "/root/repo/src/sim/exec_mem.cpp" "src/CMakeFiles/majc.dir/sim/exec_mem.cpp.o" "gcc" "src/CMakeFiles/majc.dir/sim/exec_mem.cpp.o.d"
+  "/root/repo/src/sim/exec_simd.cpp" "src/CMakeFiles/majc.dir/sim/exec_simd.cpp.o" "gcc" "src/CMakeFiles/majc.dir/sim/exec_simd.cpp.o.d"
+  "/root/repo/src/sim/functional_sim.cpp" "src/CMakeFiles/majc.dir/sim/functional_sim.cpp.o" "gcc" "src/CMakeFiles/majc.dir/sim/functional_sim.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/majc.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/majc.dir/sim/memory.cpp.o.d"
+  "/root/repo/src/soc/chip.cpp" "src/CMakeFiles/majc.dir/soc/chip.cpp.o" "gcc" "src/CMakeFiles/majc.dir/soc/chip.cpp.o.d"
+  "/root/repo/src/soc/dte.cpp" "src/CMakeFiles/majc.dir/soc/dte.cpp.o" "gcc" "src/CMakeFiles/majc.dir/soc/dte.cpp.o.d"
+  "/root/repo/src/soc/ports.cpp" "src/CMakeFiles/majc.dir/soc/ports.cpp.o" "gcc" "src/CMakeFiles/majc.dir/soc/ports.cpp.o.d"
+  "/root/repo/src/support/fixed_point.cpp" "src/CMakeFiles/majc.dir/support/fixed_point.cpp.o" "gcc" "src/CMakeFiles/majc.dir/support/fixed_point.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/majc.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/majc.dir/support/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

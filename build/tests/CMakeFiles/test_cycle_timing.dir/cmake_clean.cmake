@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cycle_timing.dir/test_cycle_timing.cpp.o"
+  "CMakeFiles/test_cycle_timing.dir/test_cycle_timing.cpp.o.d"
+  "test_cycle_timing"
+  "test_cycle_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cycle_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_parallel.dir/test_dual_parallel.cpp.o"
+  "CMakeFiles/test_dual_parallel.dir/test_dual_parallel.cpp.o.d"
+  "test_dual_parallel"
+  "test_dual_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

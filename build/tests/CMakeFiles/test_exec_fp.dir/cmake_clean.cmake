@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_fp.dir/test_exec_fp.cpp.o"
+  "CMakeFiles/test_exec_fp.dir/test_exec_fp.cpp.o.d"
+  "test_exec_fp"
+  "test_exec_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_int.dir/test_exec_int.cpp.o"
+  "CMakeFiles/test_exec_int.dir/test_exec_int.cpp.o.d"
+  "test_exec_int"
+  "test_exec_int.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

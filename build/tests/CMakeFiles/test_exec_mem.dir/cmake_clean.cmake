@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_mem.dir/test_exec_mem.cpp.o"
+  "CMakeFiles/test_exec_mem.dir/test_exec_mem.cpp.o.d"
+  "test_exec_mem"
+  "test_exec_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa_encoding.dir/test_isa_encoding.cpp.o"
+  "CMakeFiles/test_isa_encoding.dir/test_isa_encoding.cpp.o.d"
+  "test_isa_encoding"
+  "test_isa_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

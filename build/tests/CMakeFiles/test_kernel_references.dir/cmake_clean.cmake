@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_references.dir/test_kernel_references.cpp.o"
+  "CMakeFiles/test_kernel_references.dir/test_kernel_references.cpp.o.d"
+  "test_kernel_references"
+  "test_kernel_references.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_references.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_dsp.dir/test_kernels_dsp.cpp.o"
+  "CMakeFiles/test_kernels_dsp.dir/test_kernels_dsp.cpp.o.d"
+  "test_kernels_dsp"
+  "test_kernels_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

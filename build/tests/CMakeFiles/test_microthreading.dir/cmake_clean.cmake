@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microthreading.dir/test_microthreading.cpp.o"
+  "CMakeFiles/test_microthreading.dir/test_microthreading.cpp.o.d"
+  "test_microthreading"
+  "test_microthreading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microthreading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_check.dir/test_schedule_check.cpp.o"
+  "CMakeFiles/test_schedule_check.dir/test_schedule_check.cpp.o.d"
+  "test_schedule_check"
+  "test_schedule_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
