@@ -75,10 +75,15 @@ int main(int argc, char** argv) {
     sim::FunctionalSim sim(*image);
     const auto res = sim.run();
     std::fputs(sim.console().c_str(), stdout);
-    std::printf("[functional] %llu packets, %llu instructions, halted=%d\n",
+    std::printf("[functional] %llu packets, %llu instructions, %s\n",
                 static_cast<unsigned long long>(res.packets),
-                static_cast<unsigned long long>(res.instrs), res.halted);
-    return res.halted ? 0 : 1;
+                static_cast<unsigned long long>(res.instrs),
+                termination_reason_name(res.reason));
+    if (res.reason == TerminationReason::kTrap) {
+      std::fputs(trap_report(res.trap, sim.program(), sim.state()).c_str(),
+                 stderr);
+    }
+    return res.reason == TerminationReason::kHalted ? 0 : 1;
   }
   if (dual) {
     soc::Majc5200 chip(*image);
@@ -86,11 +91,14 @@ int main(int argc, char** argv) {
     for (u32 c = 0; c < 2; ++c) {
       std::fputs(chip.cpu(c).console().c_str(), stdout);
     }
-    std::printf("[chip] %llu cycles; cpu0 %llu packets, cpu1 %llu packets\n",
-                static_cast<unsigned long long>(res.cycles),
-                static_cast<unsigned long long>(res.packets[0]),
-                static_cast<unsigned long long>(res.packets[1]));
-    return res.all_halted ? 0 : 1;
+    std::printf(
+        "[chip] %llu cycles; cpu0 %llu packets, cpu1 %llu packets, %s\n",
+        static_cast<unsigned long long>(res.cycles),
+        static_cast<unsigned long long>(res.packets[0]),
+        static_cast<unsigned long long>(res.packets[1]),
+        termination_reason_name(res.reason));
+    if (!res.dump.empty()) std::fputs(res.dump.c_str(), stderr);
+    return res.reason == TerminationReason::kHalted ? 0 : 1;
   }
   cpu::CycleSim sim(*image);
   if (trace) {
@@ -111,9 +119,16 @@ int main(int argc, char** argv) {
   }
   const auto res = sim.run();
   std::fputs(sim.console().c_str(), stdout);
-  std::printf("[cycle] %llu cycles, %llu instructions, IPC %.2f\n",
+  std::printf("[cycle] %llu cycles, %llu instructions, IPC %.2f, %s\n",
               static_cast<unsigned long long>(res.cycles),
-              static_cast<unsigned long long>(res.instrs), res.ipc());
+              static_cast<unsigned long long>(res.instrs), res.ipc(),
+              termination_reason_name(res.reason));
+  if (res.reason == TerminationReason::kTrap) {
+    std::fputs(sim::trap_report(res.trap, sim.program(),
+                                sim.cpu().state(sim.cpu().active_thread()))
+                   .c_str(),
+               stderr);
+  }
   std::fputs(cpu::performance_report(sim).c_str(), stdout);
-  return res.halted ? 0 : 1;
+  return res.reason == TerminationReason::kHalted ? 0 : 1;
 }

@@ -61,6 +61,7 @@ CycleCpu::CycleCpu(const sim::Program& prog, sim::MemoryBus& mem,
       env_{mem},
       bpred_(ms.config()) {
   env_.cpu_id = cpu_id;
+  env_.trap_div_zero = cfg_.trap_div_zero;
   env_.trap = [this](u32 code, u32 value) {
     sim::FunctionalSim::format_trap(console_, code, value);
   };
@@ -70,6 +71,7 @@ CycleCpu::CycleCpu(const sim::Program& prog, sim::MemoryBus& mem,
 }
 
 bool CycleCpu::halted() const {
+  if (trap_) return true;  // a trap stops the whole CPU
   for (const auto& th : threads_) {
     if (!th.state.halted) return false;
   }
@@ -126,6 +128,20 @@ CycleCpu::IssueEstimate CycleCpu::issue_time(ThreadCtx& th,
 
 void CycleCpu::step() {
   if (halted()) return;
+  try {
+    step_impl();
+  } catch (const TrapException& e) {
+    // Deliver the trap precisely: the faulting packet committed no register
+    // writes, so the active thread's pc still names it.
+    Trap t = e.trap();
+    t.cpu = cpu_id_;
+    t.pc = threads_[active_].state.pc;
+    t.cycle = std::max(current_cycle_, threads_[active_].ready);
+    trap_ = std::move(t);
+  }
+}
+
+void CycleCpu::step_impl() {
   // Schedule: stay on the active thread unless it halted.
   if (threads_[active_].state.halted) {
     for (u32 i = 0; i < threads_.size(); ++i) {
@@ -180,7 +196,15 @@ void CycleCpu::step() {
 
   // Execute architecturally at cycle t.
   current_cycle_ = t;
+  const std::size_t console_before = console_.size();
   const sim::PacketOutcome out = sim::execute_packet(th->state, p, env_);
+
+  // Watchdog progress: an externally visible effect retired at cycle t.
+  if (out.mem.kind == sim::MemAccess::Kind::kStore ||
+      out.mem.kind == sim::MemAccess::Kind::kAtomic || out.halted ||
+      console_.size() != console_before) {
+    last_progress_ = std::max(last_progress_, t);
+  }
 
   // (4) LSU acceptance and load-data timing.
   Cycle load_ready = 0;
@@ -250,9 +274,12 @@ void CycleCpu::step() {
 
 CycleSim::CycleSim(masm::Image image, const TimingConfig& cfg,
                    std::size_t mem_bytes)
-    : prog_(std::move(image)), mem_(mem_bytes), ms_(cfg) {
+    : prog_(std::move(image)),
+      mem_(mem_bytes),
+      ms_(cfg),
+      eccmem_(mem_, ms_.fault_plan()) {
   sim::load_image(prog_.image(), mem_);
-  cpu_ = std::make_unique<CycleCpu>(prog_, mem_, ms_, /*cpu_id=*/0);
+  cpu_ = std::make_unique<CycleCpu>(prog_, eccmem_, ms_, /*cpu_id=*/0);
   for (u32 t = 0; t < cpu_->hw_threads(); ++t) {
     // Distinct stacks per hardware thread, 64 KB apart below the top.
     cpu_->state(t).regs[2] =
@@ -262,13 +289,29 @@ CycleSim::CycleSim(masm::Image image, const TimingConfig& cfg,
 
 CycleSim::Result CycleSim::run(u64 max_packets) {
   Result res;
+  const u64 wd = ms_.config().watchdog_cycles;
+  bool watchdog_fired = false;
   while (!cpu_->halted() && cpu_->stats().packets < max_packets) {
     cpu_->step();
+    if (wd != 0 && cpu_->now() > cpu_->last_progress() + wd) {
+      watchdog_fired = true;
+      break;
+    }
   }
   res.cycles = cpu_->now();
   res.packets = cpu_->stats().packets;
   res.instrs = cpu_->stats().instrs;
-  res.halted = cpu_->halted();
+  if (const Trap* t = cpu_->trap()) {
+    res.reason = TerminationReason::kTrap;
+    res.trap = *t;
+  } else if (watchdog_fired) {
+    res.reason = TerminationReason::kWatchdog;
+  } else if (cpu_->halted()) {
+    res.halted = true;
+    res.reason = TerminationReason::kHalted;
+  } else {
+    res.reason = TerminationReason::kPacketCap;
+  }
   return res;
 }
 

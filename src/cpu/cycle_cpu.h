@@ -20,10 +20,12 @@
 // to the instruction-accurate simulator by construction.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "src/cpu/branch_predictor.h"
 #include "src/cpu/scoreboard.h"
+#include "src/mem/ecc.h"
 #include "src/mem/memsys.h"
 #include "src/sim/functional_sim.h"
 #include "src/support/stats.h"
@@ -62,15 +64,25 @@ public:
            mem::MemorySystem& ms, u32 cpu_id);
 
   /// Issue and execute the next packet of the scheduled thread (or perform
-  /// a context switch). No-op once every thread has halted.
+  /// a context switch). No-op once every thread has halted. An architected
+  /// trap stops the whole CPU (every context) and is recorded in trap().
   void step();
 
   bool halted() const;
+  /// The trap that stopped this CPU, if any (nullptr = no trap).
+  const Trap* trap() const { return trap_ ? &*trap_ : nullptr; }
   /// Cycle at which the next packet would issue (== elapsed cycles so far).
   Cycle now() const;
+  /// Cycle of the last externally visible effect this CPU retired (store,
+  /// atomic, console output, or halt) — the watchdog's progress signal.
+  Cycle last_progress() const { return last_progress_; }
 
   u32 hw_threads() const { return static_cast<u32>(threads_.size()); }
+  u32 active_thread() const { return active_; }
   sim::CpuState& state(u32 thread = 0) { return threads_[thread].state; }
+  const sim::CpuState& state(u32 thread = 0) const {
+    return threads_[thread].state;
+  }
   /// Point a thread at an entry address (threads default to the image entry
   /// and can dispatch on GETTID instead).
   void set_thread_pc(u32 thread, Addr pc) { threads_[thread].state.pc = pc; }
@@ -102,6 +114,7 @@ private:
   /// (fetch-ahead happens whether or not the packet then issues), stall
   /// statistics are only recorded by the caller on actual issue.
   IssueEstimate issue_time(ThreadCtx& th, const isa::Packet& p);
+  void step_impl();
 
   const sim::Program& prog_;
   mem::MemorySystem& ms_;
@@ -122,10 +135,12 @@ private:
   std::string console_;
   CpuStats stats_;
   std::function<void(const TraceEvent&)> trace_;
+  std::optional<Trap> trap_;
+  Cycle last_progress_ = 0;
 };
 
 /// Single-CPU convenience harness mirroring FunctionalSim: owns the memory,
-/// memory system and one CycleCpu.
+/// the ECC layer, the memory system and one CycleCpu.
 class CycleSim {
 public:
   explicit CycleSim(masm::Image image, const TimingConfig& cfg = {},
@@ -136,6 +151,8 @@ public:
     u64 packets = 0;
     u64 instrs = 0;
     bool halted = false;
+    TerminationReason reason = TerminationReason::kPacketCap;
+    Trap trap;  // valid (code != kNone) only when reason == kTrap
     double ipc() const {
       return cycles == 0 ? 0.0
                          : static_cast<double>(instrs) /
@@ -148,6 +165,7 @@ public:
   CycleCpu& cpu() { return *cpu_; }
   mem::MemorySystem& memsys() { return ms_; }
   sim::FlatMemory& memory() { return mem_; }
+  mem::EccMemory& ecc() { return eccmem_; }
   const sim::Program& program() const { return prog_; }
   const std::string& console() const { return cpu_->console(); }
 
@@ -155,6 +173,7 @@ private:
   sim::Program prog_;
   sim::FlatMemory mem_;
   mem::MemorySystem ms_;
+  mem::EccMemory eccmem_;
   std::unique_ptr<CycleCpu> cpu_;
 };
 

@@ -1,5 +1,7 @@
 #include "src/mem/cache.h"
 
+#include <algorithm>
+
 #include "src/support/error.h"
 
 namespace majc::mem {
@@ -19,7 +21,7 @@ Cache::Cache(const Config& cfg) : cfg_(cfg) {
 void Cache::touch(u32 set, u32 way) {
   Line* row = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
   const u32 old = row[way].lru;
-  for (u32 w = 0; w < cfg_.ways; ++w) {
+  for (u32 w = 0; w < live_ways(); ++w) {
     if (row[w].lru < old) ++row[w].lru;
   }
   row[way].lru = 0;
@@ -31,7 +33,7 @@ Cache::AccessResult Cache::access(Addr addr, bool is_store, bool allocate) {
   const u64 tag = tag_of(line);
   Line* row = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
 
-  for (u32 w = 0; w < cfg_.ways; ++w) {
+  for (u32 w = 0; w < live_ways(); ++w) {
     if (row[w].valid && row[w].tag == tag) {
       ++hits_;
       if (is_store) row[w].dirty = true;
@@ -42,9 +44,9 @@ Cache::AccessResult Cache::access(Addr addr, bool is_store, bool allocate) {
   ++misses_;
   if (!allocate) return {.hit = false};
 
-  // Choose the LRU way as victim.
+  // Choose the LRU way as victim (only live ways participate).
   u32 victim = 0;
-  for (u32 w = 0; w < cfg_.ways; ++w) {
+  for (u32 w = 0; w < live_ways(); ++w) {
     if (!row[w].valid) {
       victim = w;
       break;
@@ -67,7 +69,7 @@ bool Cache::probe(Addr addr) const {
   const u32 set = set_of(line);
   const u64 tag = tag_of(line);
   const Line* row = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
-  for (u32 w = 0; w < cfg_.ways; ++w) {
+  for (u32 w = 0; w < live_ways(); ++w) {
     if (row[w].valid && row[w].tag == tag) return true;
   }
   return false;
@@ -93,6 +95,19 @@ void Cache::invalidate_all() {
   for (Line& l : lines_) {
     l.valid = false;
     l.dirty = false;
+  }
+}
+
+void Cache::disable_ways(u32 n) {
+  disabled_ways_ = cfg_.ways > 1 ? std::min(n, cfg_.ways - 1) : 0;
+  // Resident lines in the dead ways are gone (their data was only ever a
+  // timing fiction; the backing store holds the truth).
+  for (u32 s = 0; s < sets_; ++s) {
+    Line* row = &lines_[static_cast<std::size_t>(s) * cfg_.ways];
+    for (u32 w = live_ways(); w < cfg_.ways; ++w) {
+      row[w].valid = false;
+      row[w].dirty = false;
+    }
   }
 }
 

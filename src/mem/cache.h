@@ -42,6 +42,12 @@ public:
   bool invalidate(Addr addr);
   void invalidate_all();
 
+  /// Take `n` ways out of service (RAS degradation: a failed way shrinks
+  /// capacity instead of crashing). Clamped to ways - 1; lines resident in
+  /// the disabled ways are invalidated.
+  void disable_ways(u32 n);
+  u32 disabled_ways() const { return disabled_ways_; }
+
   u32 sets() const { return sets_; }
   u32 ways() const { return cfg_.ways; }
   u64 hits() const { return hits_; }
@@ -65,10 +71,12 @@ private:
   u64 line_of(Addr addr) const { return addr / cfg_.line_bytes; }
   u32 set_of(u64 line) const { return static_cast<u32>(line % sets_); }
   u64 tag_of(u64 line) const { return line / sets_; }
+  u32 live_ways() const { return cfg_.ways - disabled_ways_; }
   void touch(u32 set, u32 way);
 
   Config cfg_;
   u32 sets_;
+  u32 disabled_ways_ = 0;
   std::vector<Line> lines_;  // sets_ * ways, row-major by set
   u64 hits_ = 0;
   u64 misses_ = 0;

@@ -36,7 +36,18 @@ Cycle Crossbar::transfer(Port src, Port dst, u32 bytes, Cycle now) {
   auto& src_free = free_[static_cast<std::size_t>(src)];
   auto& dst_free = free_[static_cast<std::size_t>(dst)];
   const double bw = std::min(port_bandwidth(src), port_bandwidth(dst));
-  const Cycle start = std::max({now, src_free, dst_free});
+  Cycle start = std::max({now, src_free, dst_free});
+  if (plan_ != nullptr && plan_->enabled()) {
+    if (plan_->grant_dropped(transfers_)) {
+      // Lost grant: the requester times out and re-arbitrates.
+      start += hop_ + plan_->config().xbar_delay_cycles;
+      ++dropped_grants_;
+    }
+    if (const u32 d = plan_->grant_delay(transfers_); d > 0) {
+      start += d;
+      ++delayed_grants_;
+    }
+  }
   const auto duration =
       static_cast<Cycle>(std::ceil(static_cast<double>(bytes) / bw));
   src_free = start + duration;
@@ -50,6 +61,8 @@ Cycle Crossbar::transfer(Port src, Port dst, u32 bytes, Cycle now) {
 void Crossbar::reset_stats() {
   bytes_.fill(0);
   transfers_ = 0;
+  delayed_grants_ = 0;
+  dropped_grants_ = 0;
 }
 
 } // namespace majc::mem

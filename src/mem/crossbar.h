@@ -36,6 +36,11 @@ class Crossbar {
 public:
   explicit Crossbar(const TimingConfig& cfg);
 
+  /// Install the run's fault plan (null = fault-free). A delayed grant
+  /// starts late; a dropped grant pays a full re-arbitration before the
+  /// transfer is retried. Data is never lost — drops are a timing fault.
+  void set_fault_plan(const FaultPlan* plan) { plan_ = plan; }
+
   /// Schedule a transfer of `bytes` from `src` to `dst` starting no earlier
   /// than `now`; returns the completion cycle. Both ports are occupied for
   /// the duration, so a slow external interface (PCI) throttles its peer.
@@ -48,6 +53,8 @@ public:
 
   u64 port_bytes(Port p) const { return bytes_[static_cast<std::size_t>(p)]; }
   u64 transfers() const { return transfers_; }
+  u64 delayed_grants() const { return delayed_grants_; }
+  u64 dropped_grants() const { return dropped_grants_; }
   void reset_stats();
 
 private:
@@ -56,6 +63,9 @@ private:
   std::array<Cycle, kNumPorts> free_{};
   std::array<u64, kNumPorts> bytes_{};
   u64 transfers_ = 0;
+  const FaultPlan* plan_ = nullptr;
+  u64 delayed_grants_ = 0;
+  u64 dropped_grants_ = 0;
 };
 
 } // namespace majc::mem

@@ -1,0 +1,49 @@
+#include "src/mem/ecc.h"
+
+#include <string>
+
+#include "src/support/trap.h"
+
+namespace majc::mem {
+
+void EccMemory::read(Addr addr, std::span<u8> out) {
+  inner_.read(addr, out);
+  if (!plan_.enabled() || out.empty()) return;
+
+  const Addr first = addr & ~Addr{kLineBytes - 1};
+  const Addr last = (addr + out.size() - 1) & ~Addr{kLineBytes - 1};
+  for (Addr line = first; line <= last; line += kLineBytes) {
+    switch (plan_.dram_fault(line)) {
+      case FaultPlan::DramFault::kNone:
+        break;
+      case FaultPlan::DramFault::kCorrectable:
+        if (plan_.config().ecc_enabled) {
+          // Single-bit error: SEC-DED corrects in-line; data is clean.
+          ++corrected_;
+        } else {
+          // No ECC: the stuck bit reaches the consumer.
+          const u32 bit =
+              plan_.flipped_bit(line, static_cast<u32>(out.size()) * 8);
+          out[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+          ++silent_corruptions_;
+        }
+        break;
+      case FaultPlan::DramFault::kUncorrectable: {
+        if (plan_.config().ecc_enabled) {
+          ++machine_checks_;
+          raise_trap(TrapCause::kMachineCheck,
+                     "uncorrectable ECC error reading DRAM line " +
+                         std::to_string(line));
+        }
+        const u32 bit =
+            plan_.flipped_bit(line, static_cast<u32>(out.size()) * 8);
+        out[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        out[0] ^= 1u;  // double-bit: corrupt a second position
+        ++silent_corruptions_;
+        break;
+      }
+    }
+  }
+}
+
+} // namespace majc::mem

@@ -1,0 +1,45 @@
+// SEC-DED ECC model on the DRAM data path.
+//
+// A MemoryBus decorator that sits between the CPUs and the backing
+// FlatMemory. Fault state per 32-byte line comes from the run's FaultPlan:
+//
+//   - correctable (single-bit) faults are detected and corrected on every
+//     read that touches the line — the consumer sees clean data and the
+//     `corrected` counter increments (the hardware's scrub-and-retry);
+//   - uncorrectable (double-bit) faults raise a kMachineCheck trap;
+//   - with ECC disabled (FaultConfig::ecc_enabled = false) the same faults
+//     silently flip a deterministic bit of the returned data instead —
+//     the baseline that motivates paying for ECC.
+//
+// Writes pass straight through: the model treats a faulty line as bad cells,
+// so a rewrite does not heal it (the plan's per-line verdict is stable).
+#pragma once
+
+#include "src/sim/memory.h"
+#include "src/support/fault.h"
+
+namespace majc::mem {
+
+class EccMemory final : public sim::MemoryBus {
+public:
+  EccMemory(sim::MemoryBus& inner, const FaultPlan& plan)
+      : inner_(inner), plan_(plan) {}
+
+  void read(Addr addr, std::span<u8> out) override;
+  void write(Addr addr, std::span<const u8> in) override {
+    inner_.write(addr, in);
+  }
+
+  u64 corrected() const { return corrected_; }
+  u64 machine_checks() const { return machine_checks_; }
+  u64 silent_corruptions() const { return silent_corruptions_; }
+
+private:
+  sim::MemoryBus& inner_;
+  const FaultPlan& plan_;
+  u64 corrected_ = 0;
+  u64 machine_checks_ = 0;
+  u64 silent_corruptions_ = 0;
+};
+
+} // namespace majc::mem

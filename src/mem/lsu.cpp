@@ -7,13 +7,14 @@ namespace majc::mem {
 using sim::MemAccess;
 
 Lsu::Lsu(const TimingConfig& cfg, Cache& dcache, Dram& dram, Crossbar& xbar,
-         Port port, Cycle* dcache_port_free)
+         Port port, Cycle* dcache_port_free, const FaultPlan* plan)
     : cfg_(cfg),
       dcache_(dcache),
       dram_(dram),
       xbar_(xbar),
       port_(port),
-      dport_free_(dcache_port_free) {}
+      dport_free_(dcache_port_free),
+      plan_(plan) {}
 
 void Lsu::prune(Cycle now) {
   std::erase_if(loads_, [now](Cycle c) { return c <= now; });
@@ -26,7 +27,16 @@ Cycle Lsu::fill_line(Addr addr, Cycle now) {
   const Cycle at_mem = xbar_.transfer(port_, Port::kMem, 0, now);
   const Cycle dram_done = dram_.request(line, cfg_.line_bytes, at_mem);
   // Return path for the line through the crossbar.
-  return xbar_.transfer(Port::kMem, port_, cfg_.line_bytes, dram_done);
+  Cycle done = xbar_.transfer(Port::kMem, port_, cfg_.line_bytes, dram_done);
+  if (plan_ != nullptr && plan_->fill_corrupted(line, fills_++)) {
+    // Parity-bad fill: discard and refetch from DRDRAM. Data stays correct
+    // (the backing store is the truth); the cost is purely timing.
+    counters_.add("fill_parity_retries");
+    const Cycle at2 = xbar_.transfer(port_, Port::kMem, 0, done);
+    done = xbar_.transfer(Port::kMem, port_, cfg_.line_bytes,
+                          dram_.request(line, cfg_.line_bytes, at2));
+  }
+  return done;
 }
 
 Cycle Lsu::mshr_ready(Cycle now) {

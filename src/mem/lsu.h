@@ -37,7 +37,8 @@ public:
   /// it. With the paper's dual-ported D$ each CPU has its own port and the
   /// pointer is null.
   Lsu(const TimingConfig& cfg, Cache& dcache, Dram& dram, Crossbar& xbar,
-      Port port, Cycle* dcache_port_free = nullptr);
+      Port port, Cycle* dcache_port_free = nullptr,
+      const FaultPlan* plan = nullptr);
 
   /// Issue one memory operation reaching the LSU at cycle `now`.
   IssueResult issue(const sim::MemAccess& acc, Cycle now);
@@ -69,6 +70,8 @@ private:
   Crossbar& xbar_;
   Port port_;
   Cycle* dport_free_ = nullptr;
+  const FaultPlan* plan_ = nullptr;  // injected D$ fill parity faults
+  u64 fills_ = 0;
 
   std::vector<Cycle> loads_;        // completion times of buffered loads
   std::vector<StoreEntry> stores_;  // buffered stores (for forwarding)

@@ -4,6 +4,7 @@ namespace majc::mem {
 
 MemorySystem::MemorySystem(const TimingConfig& cfg)
     : cfg_(cfg),
+      plan_(cfg_.faults),
       xbar_(cfg_),
       dram_(cfg_),
       dcache_({cfg_.dcache_bytes, cfg_.dcache_ways, cfg_.line_bytes, "dcache"}),
@@ -11,11 +12,14 @@ MemorySystem::MemorySystem(const TimingConfig& cfg)
                       "icache0"}},
                Cache{{cfg_.icache_bytes, cfg_.icache_ways, cfg_.line_bytes,
                       "icache1"}}} {
+  xbar_.set_fault_plan(&plan_);
+  dcache_.disable_ways(cfg_.dcache_disabled_ways);
+  for (auto& ic : icaches_) ic.disable_ways(cfg_.icache_disabled_ways);
   Cycle* shared_port = cfg_.dcache_dual_ported ? nullptr : &dport_free_;
   lsus_[0] = std::make_unique<Lsu>(cfg_, dcache_, dram_, xbar_, Port::kCpu0,
-                                   shared_port);
+                                   shared_port, &plan_);
   lsus_[1] = std::make_unique<Lsu>(cfg_, dcache_, dram_, xbar_, Port::kCpu1,
-                                   shared_port);
+                                   shared_port, &plan_);
 }
 
 Cycle MemorySystem::ifetch(u32 cpu, Addr addr, u32 bytes, Cycle now) {
@@ -29,9 +33,15 @@ Cycle MemorySystem::ifetch(u32 cpu, Addr addr, u32 bytes, Cycle now) {
     if (!ic.access(line, /*is_store=*/false).hit) {
       const Cycle at_mem = xbar_.transfer(port, Port::kMem, 0, now);
       const Cycle dram_done = dram_.request(line, cfg_.line_bytes, at_mem);
-      ready = std::max(ready,
-                       xbar_.transfer(Port::kMem, port, cfg_.line_bytes,
-                                      dram_done));
+      Cycle fill = xbar_.transfer(Port::kMem, port, cfg_.line_bytes, dram_done);
+      if (plan_.fill_corrupted(line, ifetch_fills_++)) {
+        // Parity-bad I$ fill: refetch the line (timing-only fault).
+        ++ifetch_parity_retries_;
+        const Cycle at2 = xbar_.transfer(port, Port::kMem, 0, fill);
+        fill = xbar_.transfer(Port::kMem, port, cfg_.line_bytes,
+                              dram_.request(line, cfg_.line_bytes, at2));
+      }
+      ready = std::max(ready, fill);
     }
   }
   return ready;

@@ -29,6 +29,8 @@ public:
   Dram& dram() { return dram_; }
   Crossbar& xbar() { return xbar_; }
   const TimingConfig& config() const { return cfg_; }
+  const FaultPlan& fault_plan() const { return plan_; }
+  u64 ifetch_parity_retries() const { return ifetch_parity_retries_; }
 
   /// Instruction fetch of `bytes` at `addr` for CPU `cpu`; returns the cycle
   /// the packet is available to the aligner.
@@ -38,12 +40,15 @@ public:
 
 private:
   TimingConfig cfg_;
+  FaultPlan plan_;
   Crossbar xbar_;
   Dram dram_;
   Cache dcache_;
   std::array<Cache, kNumCpus> icaches_;
   Cycle dport_free_ = 0;  // single-port D$ arbitration (ablation)
   std::array<std::unique_ptr<Lsu>, kNumCpus> lsus_;
+  u64 ifetch_fills_ = 0;
+  u64 ifetch_parity_retries_ = 0;
 };
 
 } // namespace majc::mem

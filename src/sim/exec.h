@@ -35,7 +35,9 @@ struct MemAccess {
 };
 
 /// Console trap codes (the model's printf substitute for tests/examples).
-enum class TrapCode : u32 {
+/// Distinct from majc::TrapCause — these are the architected TRAP
+/// instruction's service codes, not fault conditions.
+enum class ConsoleTrap : u32 {
   kPrintInt = 0,
   kPrintChar = 1,
   kPrintHex = 2,
@@ -49,6 +51,9 @@ struct ExecEnv {
   MemoryBus& mem;
   u32 cpu_id = 0;
   u32 thread_id = 0;  // vertical-microthreading context id (GETTID)
+  /// Raise a kDivideByZero trap on integer div/divu by zero instead of the
+  /// default total semantics (result 0).
+  bool trap_div_zero = false;
   /// Called for TRAP instructions with (code, value of rs1).
   std::function<void(u32, u32)> trap;
   /// GETTICK source; packet count in the functional sim, cycle count in the
@@ -86,7 +91,8 @@ struct PacketOutcome {
 
 // Per-class slot executors (internal; dispatched by execute_packet).
 void exec_alu(const isa::Instr& in, u32 fu, const CpuState& st, SlotEffects& fx);
-void exec_muldiv(const isa::Instr& in, u32 fu, const CpuState& st, SlotEffects& fx);
+void exec_muldiv(const isa::Instr& in, u32 fu, const CpuState& st,
+                 const ExecEnv& env, SlotEffects& fx);
 void exec_simd(const isa::Instr& in, u32 fu, const CpuState& st, SlotEffects& fx);
 void exec_fp32(const isa::Instr& in, u32 fu, const CpuState& st, SlotEffects& fx);
 void exec_fp64(const isa::Instr& in, u32 fu, const CpuState& st, SlotEffects& fx);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/sim/exec.h"
+#include "src/support/trap.h"
 
 namespace majc::sim {
 namespace {
@@ -58,7 +59,8 @@ void exec_fp32(const Instr& in, u32 fu, const CpuState& st, SlotEffects& fx) {
     case Op::kFdiv: r = as_u32(a / b); break;
     case Op::kFrsqrt: r = as_u32(1.0f / std::sqrt(a)); break;
     default:
-      fail("exec_fp32: unexpected opcode");
+      raise_trap(TrapCause::kIllegalInstruction,
+                 "exec_fp32: unexpected opcode");
   }
   fx.writes.push_back({rd, r});
 }
@@ -94,7 +96,8 @@ void exec_fp64(const Instr& in, u32 fu, const CpuState& st, SlotEffects& fx) {
     case Op::kDcmplt: fx.writes.push_back({rd, (a < b) ? 1u : 0u}); break;
     case Op::kDcmple: fx.writes.push_back({rd, (a <= b) ? 1u : 0u}); break;
     default:
-      fail("exec_fp64: unexpected opcode");
+      raise_trap(TrapCause::kIllegalInstruction,
+                 "exec_fp64: unexpected opcode");
   }
 }
 

@@ -4,6 +4,7 @@
 #include "src/sim/exec.h"
 #include "src/support/bits.h"
 #include "src/support/saturate.h"
+#include "src/support/trap.h"
 
 namespace majc::sim {
 
@@ -55,12 +56,13 @@ void exec_alu(const Instr& in, u32 fu, const CpuState& st, SlotEffects& fx) {
       r = static_cast<u32>(sat_sub32(static_cast<i32>(a), static_cast<i32>(b)));
       break;
     default:
-      fail("exec_alu: unexpected opcode");
+      raise_trap(TrapCause::kIllegalInstruction, "exec_alu: unexpected opcode");
   }
   fx.writes.push_back({rd, r});
 }
 
-void exec_muldiv(const Instr& in, u32 fu, const CpuState& st, SlotEffects& fx) {
+void exec_muldiv(const Instr& in, u32 fu, const CpuState& st,
+                 const ExecEnv& env, SlotEffects& fx) {
   const isa::PhysReg rd = isa::to_phys(in.rd, fu);
   const i32 a = static_cast<i32>(st.reads(in.rs1, fu));
   const i32 b = static_cast<i32>(st.reads(in.rs2, fu));
@@ -84,8 +86,12 @@ void exec_muldiv(const Instr& in, u32 fu, const CpuState& st, SlotEffects& fx) {
       break;
     case Op::kDiv:
       // Division by zero yields 0 and INT_MIN / -1 wraps to INT_MIN: the
-      // model keeps divide total instead of trapping (documented choice).
+      // model keeps divide total (documented choice) unless the run armed
+      // the divide-by-zero trap.
       if (b == 0) {
+        if (env.trap_div_zero) {
+          raise_trap(TrapCause::kDivideByZero, "div with zero divisor");
+        }
         r = 0;
       } else if (a == std::numeric_limits<i32>::min() && b == -1) {
         r = static_cast<u32>(a);
@@ -96,11 +102,15 @@ void exec_muldiv(const Instr& in, u32 fu, const CpuState& st, SlotEffects& fx) {
     case Op::kDivu: {
       const u32 ua = static_cast<u32>(a);
       const u32 ub = static_cast<u32>(b);
+      if (ub == 0 && env.trap_div_zero) {
+        raise_trap(TrapCause::kDivideByZero, "divu with zero divisor");
+      }
       r = (ub == 0) ? 0 : ua / ub;
       break;
     }
     default:
-      fail("exec_muldiv: unexpected opcode");
+      raise_trap(TrapCause::kIllegalInstruction,
+                 "exec_muldiv: unexpected opcode");
   }
   fx.writes.push_back({rd, r});
 }

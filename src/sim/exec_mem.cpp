@@ -1,5 +1,6 @@
 // Memory operation and control-flow semantics (both FU0-only classes).
 #include "src/sim/exec.h"
+#include "src/support/trap.h"
 
 namespace majc::sim {
 namespace {
@@ -163,7 +164,8 @@ void exec_mem_op(const Instr& in, u32 fu, const CpuState& st, ExecEnv& env,
       note_access(fx, MemAccess::Kind::kMembar, 0, 0, 0);
       break;
     default:
-      fail("exec_mem_op: unexpected opcode");
+      raise_trap(TrapCause::kIllegalInstruction,
+                 "exec_mem_op: unexpected opcode");
   }
 }
 
@@ -209,7 +211,8 @@ void exec_control(const Instr& in, u32 fu, const CpuState& st, ExecEnv& env,
                            static_cast<u32>(env.tick ? env.tick() : 0)});
       break;
     default:
-      fail("exec_control: unexpected opcode");
+      raise_trap(TrapCause::kIllegalInstruction,
+                 "exec_control: unexpected opcode");
   }
 }
 
@@ -222,7 +225,7 @@ PacketOutcome execute_packet(CpuState& st, const isa::Packet& p, ExecEnv& env) {
     const isa::Instr& in = p.slot[i];
     switch (in.info().cls) {
       case isa::OpClass::kAlu: exec_alu(in, i, st, fx[i]); break;
-      case isa::OpClass::kMulDiv: exec_muldiv(in, i, st, fx[i]); break;
+      case isa::OpClass::kMulDiv: exec_muldiv(in, i, st, env, fx[i]); break;
       case isa::OpClass::kSimd: exec_simd(in, i, st, fx[i]); break;
       case isa::OpClass::kFp32: exec_fp32(in, i, st, fx[i]); break;
       case isa::OpClass::kFp64: exec_fp64(in, i, st, fx[i]); break;

@@ -1,5 +1,6 @@
 // SIMD (16-bit pair), fixed point and bit/byte manipulation semantics.
 #include "src/sim/exec.h"
+#include "src/support/trap.h"
 #include "src/support/bits.h"
 #include "src/support/fixed_point.h"
 #include "src/support/saturate.h"
@@ -94,7 +95,8 @@ void exec_simd(const Instr& in, u32 fu, const CpuState& st, SlotEffects& fx) {
       break;
     case Op::kPdist: r = old + pixel_distance(a, b); break;
     default:
-      fail("exec_simd: unexpected opcode");
+      raise_trap(TrapCause::kIllegalInstruction,
+                 "exec_simd: unexpected opcode");
   }
   fx.writes.push_back({rd, r});
 }

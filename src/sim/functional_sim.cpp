@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstdio>
 
+#include "src/isa/disasm.h"
 #include "src/support/error.h"
 
 namespace majc::sim {
@@ -21,10 +22,42 @@ Program::Program(masm::Image image) : image_(std::move(image)) {
 const isa::Packet& Program::packet_at(Addr pc) const {
   auto it = index_.find(pc);
   if (it == index_.end()) {
-    fail("control transfer to address " + std::to_string(pc) +
-         " which is not a packet boundary");
+    raise_trap(TrapCause::kIllegalPacket,
+               "control transfer to address " + std::to_string(pc) +
+                   " which is not a packet boundary");
   }
   return packets_[it->second];
+}
+
+std::string trap_report(const Trap& trap, const Program& prog,
+                        const CpuState& st) {
+  char buf[128];
+  std::string out = "== architected trap: ";
+  out += trap_cause_name(trap.code);
+  std::snprintf(buf, sizeof buf, " (code %u) ==\n",
+                static_cast<u32>(trap.code));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  cpu %u  pc 0x%05llx  cycle %llu\n",
+                trap.cpu, static_cast<unsigned long long>(trap.pc),
+                static_cast<unsigned long long>(trap.cycle));
+  out += buf;
+  out += "  detail: " + trap.detail + "\n";
+  if (prog.has_packet(trap.pc)) {
+    out += "  packet: " + isa::disasm_packet(prog.packet_at(trap.pc)) + "\n";
+  }
+  out += "  regs:";
+  u32 printed = 0;
+  for (u32 r = 0; r < isa::kNumRegs; ++r) {
+    const u32 v = st.read(static_cast<isa::PhysReg>(r));
+    if (v == 0) continue;
+    std::snprintf(buf, sizeof buf, "%s r%u=0x%x",
+                  printed % 6 == 0 && printed != 0 ? "\n       " : "", r, v);
+    out += buf;
+    ++printed;
+  }
+  if (printed == 0) out += " (all zero)";
+  out += "\n";
+  return out;
 }
 
 void load_image(const masm::Image& img, MemoryBus& mem) {
@@ -38,18 +71,18 @@ void load_image(const masm::Image& img, MemoryBus& mem) {
 
 void FunctionalSim::format_trap(std::string& out, u32 code, u32 value) {
   char buf[64];
-  switch (static_cast<TrapCode>(code)) {
-    case TrapCode::kPrintInt:
+  switch (static_cast<ConsoleTrap>(code)) {
+    case ConsoleTrap::kPrintInt:
       std::snprintf(buf, sizeof buf, "%d\n", static_cast<i32>(value));
       break;
-    case TrapCode::kPrintChar:
+    case ConsoleTrap::kPrintChar:
       buf[0] = static_cast<char>(value);
       buf[1] = '\0';
       break;
-    case TrapCode::kPrintHex:
+    case ConsoleTrap::kPrintHex:
       std::snprintf(buf, sizeof buf, "0x%08x\n", value);
       break;
-    case TrapCode::kPrintFloat:
+    case ConsoleTrap::kPrintFloat:
       std::snprintf(buf, sizeof buf, "%g\n", std::bit_cast<float>(value));
       break;
     default:
@@ -70,16 +103,30 @@ FunctionalSim::FunctionalSim(masm::Image image, std::size_t mem_bytes)
 RunResult FunctionalSim::run(u64 max_packets) {
   RunResult res;
   ExecEnv env{mem_};
+  env.trap_div_zero = trap_div_zero_;
   env.trap = [this](u32 code, u32 value) { format_trap(console_, code, value); };
   env.tick = [this] { return packets_run_; };
   while (!state_.halted && res.packets < max_packets) {
-    const isa::Packet& p = program_.packet_at(state_.pc);
-    const PacketOutcome out = execute_packet(state_, p, env);
-    ++res.packets;
-    ++packets_run_;
-    res.instrs += out.width;
+    try {
+      const isa::Packet& p = program_.packet_at(state_.pc);
+      const PacketOutcome out = execute_packet(state_, p, env);
+      ++res.packets;
+      ++packets_run_;
+      res.instrs += out.width;
+    } catch (const TrapException& e) {
+      // Precise delivery: the faulting packet committed no register writes,
+      // so state_.pc still names it.
+      res.trap = e.trap();
+      res.trap.cpu = 0;
+      res.trap.pc = state_.pc;
+      res.trap.cycle = packets_run_;
+      res.reason = TerminationReason::kTrap;
+      return res;
+    }
   }
   res.halted = state_.halted;
+  res.reason = res.halted ? TerminationReason::kHalted
+                          : TerminationReason::kPacketCap;
   return res;
 }
 

@@ -13,6 +13,7 @@
 
 #include "src/masm/image.h"
 #include "src/sim/exec.h"
+#include "src/support/trap.h"
 
 namespace majc::sim {
 
@@ -40,14 +41,22 @@ struct RunResult {
   u64 packets = 0;
   u64 instrs = 0;
   bool halted = false;
+  TerminationReason reason = TerminationReason::kPacketCap;
+  Trap trap;  // valid (code != kNone) only when reason == kTrap
 };
+
+/// One-shot diagnostic for a delivered trap: cause, context, the faulting
+/// packet disassembled (when pc is a packet boundary) and a register
+/// snapshot. Shared by majc_run and the chip-level dump.
+std::string trap_report(const Trap& trap, const Program& prog,
+                        const CpuState& st);
 
 class FunctionalSim {
 public:
   explicit FunctionalSim(masm::Image image,
                          std::size_t mem_bytes = FlatMemory::kDefaultBytes);
 
-  /// Execute until HALT or `max_packets` packets.
+  /// Execute until HALT, an architected trap, or `max_packets` packets.
   RunResult run(u64 max_packets = 100'000'000);
 
   CpuState& state() { return state_; }
@@ -56,7 +65,10 @@ public:
   /// Output accumulated from TRAP (print) instructions.
   const std::string& console() const { return console_; }
 
-  /// Format one trap according to TrapCode; shared with the SoC model so
+  /// Arm the integer divide-by-zero trap (default: div/0 yields 0).
+  void set_trap_div_zero(bool on) { trap_div_zero_ = on; }
+
+  /// Format one trap according to ConsoleTrap; shared with the SoC model so
   /// functional and timed runs produce identical console text.
   static void format_trap(std::string& out, u32 code, u32 value);
 
@@ -66,6 +78,7 @@ private:
   CpuState state_;
   std::string console_;
   u64 packets_run_ = 0;
+  bool trap_div_zero_ = false;
 };
 
 } // namespace majc::sim

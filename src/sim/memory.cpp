@@ -3,15 +3,16 @@
 #include <cstring>
 #include <string>
 
-#include "src/support/error.h"
+#include "src/support/trap.h"
 
 namespace majc::sim {
 namespace {
 
 void check_align(Addr a, std::size_t n) {
   if (n > 1 && (a % n) != 0) {
-    fail("misaligned " + std::to_string(n) + "-byte access at address " +
-         std::to_string(a));
+    raise_trap(TrapCause::kMisaligned,
+               "misaligned " + std::to_string(n) +
+                   "-byte access at address " + std::to_string(a));
   }
 }
 
@@ -74,14 +75,18 @@ void MemoryBus::write_u64(Addr a, u64 v) {
 }
 
 void FlatMemory::read(Addr addr, std::span<u8> out) {
-  require(addr + out.size() <= bytes_.size(),
-          "memory read out of bounds at address " + std::to_string(addr));
+  if (addr + out.size() > bytes_.size()) {
+    raise_trap(TrapCause::kOutOfBounds,
+               "memory read out of bounds at address " + std::to_string(addr));
+  }
   std::memcpy(out.data(), bytes_.data() + addr, out.size());
 }
 
 void FlatMemory::write(Addr addr, std::span<const u8> in) {
-  require(addr + in.size() <= bytes_.size(),
-          "memory write out of bounds at address " + std::to_string(addr));
+  if (addr + in.size() > bytes_.size()) {
+    raise_trap(TrapCause::kOutOfBounds,
+               "memory write out of bounds at address " + std::to_string(addr));
+  }
   std::memcpy(bytes_.data() + addr, in.data(), in.size());
 }
 

@@ -7,8 +7,8 @@
 //
 // The model is little-endian (a host-convenience choice; the paper's
 // benchmarks are endian-agnostic). Accesses must be naturally aligned;
-// misaligned accesses throw majc::Error, standing in for the alignment trap
-// real hardware would raise.
+// misaligned or out-of-bounds accesses raise an architected trap
+// (src/support/trap.h) that the run loops deliver precisely.
 #pragma once
 
 #include <span>

@@ -1,6 +1,7 @@
 #include "src/soc/chip.h"
 
 #include <algorithm>
+#include <sstream>
 
 namespace majc::soc {
 
@@ -9,13 +10,14 @@ Majc5200::Majc5200(masm::Image image, const TimingConfig& cfg,
     : prog_(std::move(image)),
       mem_(mem_bytes),
       ms_(cfg),
+      eccmem_(mem_, ms_.fault_plan()),
       dte_(ms_, mem_),
       nupa_(ms_, mem_),
       supa_(ms_, mem_, mem::Port::kSupa),
       pci_(ms_, mem_, mem::Port::kPci) {
   sim::load_image(prog_.image(), mem_);
   for (u32 i = 0; i < kNumCpus; ++i) {
-    cpus_[i] = std::make_unique<cpu::CycleCpu>(prog_, mem_, ms_, i);
+    cpus_[i] = std::make_unique<cpu::CycleCpu>(prog_, eccmem_, ms_, i);
     // Distinct stacks: CPU0 at the top of memory, CPU1 64 KB below.
     cpus_[i]->state().regs[2] =
         static_cast<u32>(mem_.size() - 64 - i * (64u << 10));
@@ -26,8 +28,28 @@ void Majc5200::set_entry(u32 cpu, const std::string& symbol) {
   cpus_[cpu]->state().pc = prog_.image().symbol(symbol);
 }
 
+std::string Majc5200::state_dump() const {
+  std::ostringstream os;
+  for (u32 i = 0; i < kNumCpus; ++i) {
+    const cpu::CycleCpu& c = *cpus_[i];
+    os << "cpu" << i << ": pc=0x" << std::hex
+       << c.state(c.active_thread()).pc << std::dec << " cycle=" << c.now()
+       << " last_progress=" << c.last_progress()
+       << " packets=" << c.stats().packets
+       << (c.halted() ? " [halted]" : " [running]");
+    if (const Trap* t = c.trap()) {
+      os << " trap=" << trap_cause_name(t->code);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
 Majc5200::Result Majc5200::run(u64 max_packets_per_cpu) {
   Result res;
+  const u64 wd = ms_.config().watchdog_cycles;
+  const cpu::CycleCpu* trapped = nullptr;
+  bool watchdog_fired = false;
   while (true) {
     // Advance the CPU whose next packet issues earliest in global time.
     cpu::CycleCpu* next = nullptr;
@@ -37,6 +59,25 @@ Majc5200::Result Majc5200::run(u64 max_packets_per_cpu) {
     }
     if (next == nullptr) break;
     next->step();
+    if (next->trap() != nullptr) {
+      // A machine-level trap on either CPU stops the chip so the fault is
+      // reported precisely instead of being overwritten by further execution.
+      trapped = next;
+      break;
+    }
+    if (wd != 0) {
+      // Livelock watchdog: global time has advanced wd cycles past the last
+      // externally visible effect (store / atomic / console / halt) retired
+      // by ANY cpu. Loads, branches and spin loops are not progress.
+      Cycle progress = 0;
+      for (const auto& c : cpus_) {
+        progress = std::max(progress, c->last_progress());
+      }
+      if (next->now() > progress + wd) {
+        watchdog_fired = true;
+        break;
+      }
+    }
   }
   res.all_halted = true;
   for (u32 i = 0; i < kNumCpus; ++i) {
@@ -44,6 +85,26 @@ Majc5200::Result Majc5200::run(u64 max_packets_per_cpu) {
     res.instrs[i] = cpus_[i]->stats().instrs;
     res.cycles = std::max(res.cycles, cpus_[i]->now());
     res.all_halted = res.all_halted && cpus_[i]->halted();
+  }
+  if (trapped != nullptr) {
+    res.reason = TerminationReason::kTrap;
+    res.trap = *trapped->trap();
+    res.all_halted = false;
+    res.dump = sim::trap_report(
+                   res.trap, prog_,
+                   cpus_[res.trap.cpu]->state(trapped->active_thread())) +
+               state_dump();
+  } else if (watchdog_fired) {
+    res.reason = TerminationReason::kWatchdog;
+    res.all_halted = false;
+    std::ostringstream os;
+    os << "== watchdog: no progress for " << wd << " cycles ==\n"
+       << state_dump();
+    res.dump = os.str();
+  } else if (res.all_halted) {
+    res.reason = TerminationReason::kHalted;
+  } else {
+    res.reason = TerminationReason::kPacketCap;
   }
   return res;
 }

@@ -34,6 +34,9 @@ public:
     std::array<u64, kNumCpus> packets{};
     std::array<u64, kNumCpus> instrs{};
     bool all_halted = false;
+    TerminationReason reason = TerminationReason::kPacketCap;
+    Trap trap;         // valid (code != kNone) only when reason == kTrap
+    std::string dump;  // diagnostic report for trap / watchdog terminations
   };
 
   /// Run both CPUs to completion (each capped at `max_packets_per_cpu`).
@@ -45,6 +48,7 @@ public:
   cpu::CycleCpu& cpu(u32 i) { return *cpus_[i]; }
   mem::MemorySystem& memsys() { return ms_; }
   sim::FlatMemory& memory() { return mem_; }
+  mem::EccMemory& ecc() { return eccmem_; }
   const sim::Program& program() const { return prog_; }
   Dte& dte() { return dte_; }
   NupaPort& nupa() { return nupa_; }
@@ -52,9 +56,14 @@ public:
   IoPort& pci() { return pci_; }
 
 private:
+  /// Multi-line state dump of both CPUs (pc, cycle, progress, packet counts)
+  /// for trap / watchdog reports.
+  std::string state_dump() const;
+
   sim::Program prog_;
   sim::FlatMemory mem_;
   mem::MemorySystem ms_;
+  mem::EccMemory eccmem_;  // CPU-side ECC view of DRDRAM (DMA agents bypass it)
   std::array<std::unique_ptr<cpu::CycleCpu>, kNumCpus> cpus_;
   Dte dte_;
   NupaPort nupa_;

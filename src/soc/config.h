@@ -6,6 +6,7 @@
 // the provenance of each default.
 #pragma once
 
+#include "src/support/fault.h"
 #include "src/support/types.h"
 
 namespace majc {
@@ -62,6 +63,22 @@ struct TimingConfig {
   double pci_bytes_per_cycle = 0.528;   // 264 MB/s at 500 MHz
   double upa_bytes_per_cycle = 4.0;     // 2.0 GB/s each for N/S UPA
   u32 nupa_fifo_bytes = 4 * 1024;       // NUPA input FIFO readable by CPUs
+
+  // ---- RAS: traps, fault injection, degradation, watchdog ----
+  // Raise a kDivideByZero trap instead of the default total-divide
+  // semantics (div/0 = 0); off by default to match the paper-era contract.
+  bool trap_div_zero = false;
+  // Cache ways taken out of service (a "failed" way degrades capacity
+  // instead of crashing); clamped to ways - 1.
+  u32 dcache_disabled_ways = 0;
+  u32 icache_disabled_ways = 0;
+  // Run watchdog: terminate when no CPU has made externally visible
+  // progress (store, atomic, console trap, or halt) for this many cycles.
+  // 0 disables. Pure-read/compute stretches longer than this are treated
+  // as livelock, so keep it generous.
+  u64 watchdog_cycles = 10'000'000;
+  // Seeded deterministic fault injection (inert with all rates at 0).
+  FaultConfig faults;
 };
 
 } // namespace majc

@@ -1,0 +1,74 @@
+#include "src/support/fault.h"
+
+#include "src/support/rng.h"
+
+namespace majc {
+namespace {
+
+// Distinct stream tags so the same event index in different fault classes
+// draws independent decisions.
+constexpr u64 kDramStream = 0x6472616d;  // "dram"
+constexpr u64 kFillStream = 0x66696c6c;  // "fill"
+constexpr u64 kGrantStream = 0x6772616e; // "gran"
+constexpr u64 kBitStream = 0x62697473;   // "bits"
+
+} // namespace
+
+FaultPlan::FaultPlan(const FaultConfig& cfg) : cfg_(cfg) {
+  enabled_ = cfg_.dram_correctable_rate > 0.0 ||
+             cfg_.dram_uncorrectable_rate > 0.0 ||
+             cfg_.fill_parity_rate > 0.0 || cfg_.xbar_delay_rate > 0.0 ||
+             cfg_.xbar_drop_rate > 0.0;
+}
+
+u64 FaultPlan::mix(u64 stream, u64 event) const {
+  // One SplitMix64 step keyed on (seed, stream, event): cheap, stateless,
+  // and well distributed — the same event always draws the same number.
+  return SplitMix64(cfg_.seed ^ (stream * 0x9E3779B97F4A7C15ull) ^ event)
+      .next();
+}
+
+bool FaultPlan::decide(u64 hash, double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  return static_cast<double>(hash) * 0x1p-64 < rate;
+}
+
+FaultPlan::DramFault FaultPlan::dram_fault(Addr line) const {
+  if (!enabled_) return DramFault::kNone;
+  const u64 h = mix(kDramStream, line);
+  // Uncorrectable faults claim the low slice of the hash space, correctable
+  // the next one, so raising the correctable rate never moves which lines
+  // are uncorrectable.
+  if (decide(h, cfg_.dram_uncorrectable_rate)) return DramFault::kUncorrectable;
+  if (decide(h, cfg_.dram_uncorrectable_rate + cfg_.dram_correctable_rate)) {
+    return DramFault::kCorrectable;
+  }
+  return DramFault::kNone;
+}
+
+u32 FaultPlan::flipped_bit(Addr line, u32 bits) const {
+  if (bits == 0) return 0;
+  return static_cast<u32>(mix(kBitStream, line) % bits);
+}
+
+bool FaultPlan::fill_corrupted(Addr line, u64 fill_index) const {
+  if (!enabled_ || cfg_.fill_parity_rate <= 0.0) return false;
+  return decide(mix(kFillStream, line * 0x10001ull + fill_index),
+                cfg_.fill_parity_rate);
+}
+
+u32 FaultPlan::grant_delay(u64 grant_index) const {
+  if (!enabled_ || cfg_.xbar_delay_rate <= 0.0) return 0;
+  return decide(mix(kGrantStream, grant_index), cfg_.xbar_delay_rate)
+             ? cfg_.xbar_delay_cycles
+             : 0;
+}
+
+bool FaultPlan::grant_dropped(u64 grant_index) const {
+  if (!enabled_ || cfg_.xbar_drop_rate <= 0.0) return false;
+  // Offset the event id so drop decisions are independent of delay ones.
+  return decide(mix(kGrantStream, ~grant_index), cfg_.xbar_drop_rate);
+}
+
+} // namespace majc

@@ -1,0 +1,70 @@
+// Seeded, deterministic fault injection for the memory hierarchy.
+//
+// A FaultPlan answers "does this event fault?" as a pure function of the
+// configured seed and the event's identity (line address, fill index, grant
+// index), so a faulty run is bit-reproducible and the same line misbehaves
+// on every access — the way a real stuck bit or flaky pad does. Consumers:
+//
+//   - EccMemory (src/mem/ecc.h) asks dram_fault() per touched line on every
+//     data read: correctable errors are corrected and counted, uncorrectable
+//     ones raise a machine-check trap (or silently corrupt with ECC off).
+//   - Lsu::fill_line and MemorySystem::ifetch ask fill_corrupted() per cache
+//     fill: a parity-bad fill is refetched from DRDRAM (timing + counter).
+//   - Crossbar::transfer asks grant_delay()/grant_dropped() per grant: a
+//     delayed grant starts late, a dropped one pays a full re-arbitration.
+//
+// All rates are per-event probabilities in [0, 1]; the plan is inert (and
+// costs one branch) when every rate is zero.
+#pragma once
+
+#include "src/support/types.h"
+
+namespace majc {
+
+struct FaultConfig {
+  u64 seed = 0x4d414a43;  // "MAJC"
+
+  // DRAM data faults, decided per 32-byte line for the whole run.
+  double dram_correctable_rate = 0.0;    // single-bit: SEC-DED corrects
+  double dram_uncorrectable_rate = 0.0;  // double-bit: machine check
+  bool ecc_enabled = true;  // false: faults silently corrupt read data
+
+  // Cache fill corruption (I$ and D$), decided per individual fill.
+  double fill_parity_rate = 0.0;
+
+  // Crossbar grant faults, decided per transfer.
+  double xbar_delay_rate = 0.0;
+  u32 xbar_delay_cycles = 8;
+  double xbar_drop_rate = 0.0;  // dropped grant: full retry after a timeout
+};
+
+class FaultPlan {
+public:
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultConfig& cfg);
+
+  bool enabled() const { return enabled_; }
+
+  enum class DramFault : u8 { kNone, kCorrectable, kUncorrectable };
+  /// Health of one DRAM line (stable for the whole run).
+  DramFault dram_fault(Addr line) const;
+  /// Deterministic bit index (within `bits`) flipped by a faulty line when
+  /// ECC is off.
+  u32 flipped_bit(Addr line, u32 bits) const;
+
+  bool fill_corrupted(Addr line, u64 fill_index) const;
+
+  u32 grant_delay(u64 grant_index) const;  // 0 = on-time grant
+  bool grant_dropped(u64 grant_index) const;
+
+  const FaultConfig& config() const { return cfg_; }
+
+private:
+  u64 mix(u64 stream, u64 event) const;
+  static bool decide(u64 hash, double rate);
+
+  FaultConfig cfg_;
+  bool enabled_ = false;
+};
+
+} // namespace majc

@@ -162,7 +162,11 @@ TEST(ExecMem, MisalignedAccessFaults) {
     ldwi g4, g3, 0
     halt
   )"));
-  EXPECT_THROW(sim.run(), Error);
+  const sim::RunResult res = sim.run();
+  EXPECT_EQ(res.reason, TerminationReason::kTrap);
+  EXPECT_EQ(res.trap.code, TrapCause::kMisaligned);
+  // The trap is precise: pc names the faulting packet (second packet).
+  EXPECT_EQ(res.trap.pc, sim.program().image().entry + isa::kInstrBytes);
 }
 
 TEST(ExecMem, OutOfBoundsFaults) {
@@ -171,7 +175,9 @@ TEST(ExecMem, OutOfBoundsFaults) {
     ldw g4, g3, g0
     halt
   )"));
-  EXPECT_THROW(sim.run(), Error);
+  const sim::RunResult res = sim.run();
+  EXPECT_EQ(res.reason, TerminationReason::kTrap);
+  EXPECT_EQ(res.trap.code, TrapCause::kOutOfBounds);
 }
 
 TEST(ExecMem, PrefetchHasNoArchitecturalEffect) {

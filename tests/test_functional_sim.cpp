@@ -200,7 +200,10 @@ TEST(FunctionalSim, JumpToNonPacketBoundaryFaults) {
     halt
   )";
   FunctionalSim s(assemble_or_throw(src));
-  EXPECT_THROW(s.run(), Error);
+  const sim::RunResult res = s.run();
+  EXPECT_EQ(res.reason, TerminationReason::kTrap);
+  EXPECT_EQ(res.trap.code, TrapCause::kIllegalPacket);
+  EXPECT_FALSE(trap_report(res.trap, s.program(), s.state()).empty());
 }
 
 } // namespace
