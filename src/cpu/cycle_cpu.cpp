@@ -3,54 +3,22 @@
 #include <algorithm>
 
 namespace majc::cpu {
-namespace {
 
-using isa::Instr;
-using isa::PhysReg;
-
-/// Physical source registers read by `in` when executing in slot `fu`.
-void collect_sources(const Instr& in, u32 fu, InlineVec<PhysReg, 12>& out) {
-  const isa::OpInfo& info = in.info();
-  auto add = [&](isa::RegSpec spec, bool pair) {
-    const PhysReg p = isa::to_phys(spec, fu);
-    out.push_back(p);
-    if (pair) out.push_back(static_cast<PhysReg>(p + 1));
-  };
-  if (info.has(isa::kReadsRs1)) add(in.rs1, info.has(isa::kRs1Pair));
-  if (info.has(isa::kReadsRs2)) add(in.rs2, info.has(isa::kRs2Pair));
-  if (info.has(isa::kReadsRd)) {
-    if (info.has(isa::kRdGroup)) {
-      const PhysReg p = isa::to_phys(in.rd, fu);
-      for (u32 i = 0; i < 8; ++i) out.push_back(static_cast<PhysReg>(p + i));
-    } else {
-      add(in.rd, info.has(isa::kRdPair));
-    }
-  }
+u64 StallCounters::total() const {
+  u64 sum = 0;
+  for (u64 c : counts) sum += c;
+  return sum;
 }
 
-/// Physical destination registers written by `in` in slot `fu`.
-void collect_dests(const Instr& in, u32 fu, InlineVec<PhysReg, 8>& out) {
-  const isa::OpInfo& info = in.info();
-  if (info.has(isa::kCall)) {
-    out.push_back(isa::to_phys(isa::kLinkReg, fu));
-    return;
+CounterSet StallCounters::aggregate() const {
+  static constexpr std::array<const char*, kNumStallCauses> kNames = {
+      "ifetch", "operand", "fu_busy", "lsu", "branch_penalty"};
+  CounterSet out;
+  for (u32 i = 0; i < kNumStallCauses; ++i) {
+    if (counts[i] != 0) out.add(kNames[i], counts[i]);
   }
-  if (!info.writes_rd()) return;
-  const PhysReg p = isa::to_phys(in.rd, fu);
-  if (info.has(isa::kRdGroup)) {
-    for (u32 i = 0; i < 8; ++i) out.push_back(static_cast<PhysReg>(p + i));
-  } else {
-    out.push_back(p);
-    if (info.has(isa::kRdPair)) out.push_back(static_cast<PhysReg>(p + 1));
-  }
+  return out;
 }
-
-int resource_of(const isa::OpInfo& info) {
-  if (info.issue_interval <= 1) return -1;
-  return info.cls == isa::OpClass::kFp64 ? 1 : 0;
-}
-
-} // namespace
 
 CycleCpu::CycleCpu(const sim::Program& prog, sim::MemoryBus& mem,
                    mem::MemorySystem& ms, u32 cpu_id)
@@ -62,10 +30,8 @@ CycleCpu::CycleCpu(const sim::Program& prog, sim::MemoryBus& mem,
       bpred_(ms.config()) {
   env_.cpu_id = cpu_id;
   env_.trap_div_zero = cfg_.trap_div_zero;
-  env_.trap = [this](u32 code, u32 value) {
-    sim::FunctionalSim::format_trap(console_, code, value);
-  };
-  env_.tick = [this] { return current_cycle_; };
+  env_.console = &console_;
+  env_.tick = &current_cycle_;
   threads_.resize(std::max(1u, cfg_.hw_threads));
   for (auto& th : threads_) th.state.pc = prog.image().entry;
 }
@@ -94,32 +60,32 @@ Cycle CycleCpu::now() const {
   return best;
 }
 
+void CycleCpu::update_now_cache() { now_cache_ = now(); }
+
 CycleCpu::IssueEstimate CycleCpu::issue_time(ThreadCtx& th,
-                                             const isa::Packet& p) {
+                                             const sim::PacketMeta& m) {
   IssueEstimate est;
-  const Addr pc = th.state.pc;
   // (1) Instruction supply.
   const Cycle t0 = th.ready;
-  Cycle t = std::max(t0, ms_.ifetch(cpu_id_, pc, p.bytes(), t0));
+  Cycle t = std::max(t0, ms_.ifetch(cpu_id_, m.pc, m.bytes, t0));
   est.ifetch = t - t0;
 
-  // (2) Operand availability (scoreboard interlock + bypass matrix).
+  // (2) Operand availability (scoreboard interlock + bypass matrix), over
+  // the packet's predecoded flat source list.
   const Cycle t_ops = t;
-  for (u32 i = 0; i < p.width; ++i) {
-    InlineVec<PhysReg, 12> srcs;
-    collect_sources(p.slot[i], i, srcs);
-    for (PhysReg r : srcs) {
-      t = std::max(t, th.sb.ready(r, static_cast<u8>(i), cfg_));
-    }
+  for (const auto& s : m.srcs) {
+    t = std::max(t, th.sb.ready(s.reg, s.fu, cfg_));
   }
   est.operand = t - t_ops;
 
   // (3) Structural hazards: non-pipelined divide / rsqrt and the partially
   // pipelined FP64 pipe keep their sub-unit busy.
   const Cycle t_fu = t;
-  for (u32 i = 0; i < p.width; ++i) {
-    const int res = resource_of(p.slot[i].info());
-    if (res >= 0) t = std::max(t, fu_busy_[i][static_cast<u32>(res)]);
+  if (m.any_resource) {
+    for (u32 i = 0; i < m.width; ++i) {
+      const int res = m.slot[i].resource;
+      if (res >= 0) t = std::max(t, fu_busy_[i][static_cast<u32>(res)]);
+    }
   }
   est.fu = t - t_fu;
   est.t = t;
@@ -153,8 +119,13 @@ void CycleCpu::step_impl() {
   }
   ThreadCtx* th = &threads_[active_];
   const Addr pc = th->state.pc;
-  const isa::Packet& p = prog_.packet_at(pc);
-  const IssueEstimate est = issue_time(*th, p);
+  if (th->idx == sim::kNoPacketIndex || th->idx_pc != pc) {
+    th->idx = prog_.index_of(pc);  // traps on a non-packet address
+    th->idx_pc = pc;
+  }
+  const isa::Packet& p = prog_.packet(th->idx);
+  const sim::PacketMeta& m = prog_.meta(th->idx);
+  const IssueEstimate est = issue_time(*th, m);
   Cycle t = est.t;
 
   // Vertical microthreading: if this thread is about to stall past the
@@ -185,19 +156,21 @@ void CycleCpu::step_impl() {
       }
       active_ = best;
       ++stats_.thread_switches;
+      update_now_cache();
       return;  // the next step issues from the switched-in context
     }
   }
 
-  if (est.ifetch > 0) stats_.stalls.add("ifetch", est.ifetch);
-  if (est.operand > 0) stats_.stalls.add("operand", est.operand);
-  if (est.fu > 0) stats_.stalls.add("fu_busy", est.fu);
+  if (est.ifetch > 0) stats_.stalls.add(StallCause::kIfetch, est.ifetch);
+  if (est.operand > 0) stats_.stalls.add(StallCause::kOperand, est.operand);
+  if (est.fu > 0) stats_.stalls.add(StallCause::kFuBusy, est.fu);
   env_.thread_id = active_;
 
   // Execute architecturally at cycle t.
   current_cycle_ = t;
   const std::size_t console_before = console_.size();
-  const sim::PacketOutcome out = sim::execute_packet(th->state, p, env_);
+  const sim::PacketOutcome out =
+      sim::execute_packet(th->state, p, m.fall_through, env_);
 
   // Watchdog progress: an externally visible effect retired at cycle t.
   if (out.mem.kind == sim::MemAccess::Kind::kStore ||
@@ -207,30 +180,33 @@ void CycleCpu::step_impl() {
   }
 
   // (4) LSU acceptance and load-data timing.
+  Cycle lsu_stall = 0;
   Cycle load_ready = 0;
   if (out.mem.kind != sim::MemAccess::Kind::kNone) {
     const mem::Lsu::IssueResult r = ms_.lsu(cpu_id_).issue(out.mem, t);
     if (r.issue_at > t) {
-      stats_.stalls.add("lsu", r.issue_at - t);
+      lsu_stall = r.issue_at - t;
+      stats_.stalls.add(StallCause::kLsu, lsu_stall);
       t = r.issue_at;
+      // Keep the model's notion of "current cycle" in sync so trap cycles
+      // and GETTICK on subsequent packets see the post-stall time.
+      current_cycle_ = t;
     }
     load_ready = r.data_ready;
   }
 
-  // Writeback scheduling.
-  for (u32 i = 0; i < p.width; ++i) {
-    const Instr& in = p.slot[i];
-    const isa::OpInfo& info = in.info();
-    InlineVec<PhysReg, 8> dests;
-    collect_dests(in, i, dests);
-    const bool is_load_data = info.is_load() || info.has(isa::kAtomic);
-    const Cycle done =
-        is_load_data ? std::max(load_ready, t + 1) : t + info.latency;
-    const u8 producer = is_load_data ? kLsuProducer : static_cast<u8>(i);
-    for (PhysReg r : dests) th->sb.set(r, done, producer);
-    if (const int res = resource_of(info); res >= 0) {
-      fu_busy_[i][static_cast<u32>(res)] =
-          std::max(fu_busy_[i][static_cast<u32>(res)], t + info.issue_interval);
+  // Writeback scheduling, from the predecoded per-slot metadata.
+  if (m.any_dests || m.any_resource) {
+    for (u32 i = 0; i < m.width; ++i) {
+      const sim::PacketMeta::SlotMeta& sm = m.slot[i];
+      const Cycle done =
+          sm.load_data ? std::max(load_ready, t + 1) : t + sm.latency;
+      const u8 producer = sm.load_data ? kLsuProducer : static_cast<u8>(i);
+      for (isa::PhysReg r : sm.dests) th->sb.set(r, done, producer);
+      if (sm.resource >= 0) {
+        auto& busy = fu_busy_[i][static_cast<u32>(sm.resource)];
+        busy = std::max(busy, t + sm.issue_interval);
+      }
     }
   }
 
@@ -244,14 +220,26 @@ void CycleCpu::step_impl() {
     if (predicted != out.branch_taken) {
       ++stats_.mispredicts;
       next += cfg_.mispredict_penalty;
-      stats_.stalls.add("branch_penalty", cfg_.mispredict_penalty);
+      stats_.stalls.add(StallCause::kBranchPenalty, cfg_.mispredict_penalty);
     }
   } else if (out.is_jump) {
     ++stats_.jumps;
     next += cfg_.jump_penalty;
-    stats_.stalls.add("branch_penalty", cfg_.jump_penalty);
+    stats_.stalls.add(StallCause::kBranchPenalty, cfg_.jump_penalty);
   }
   th->ready = next;
+
+  // Follow the predecoded successor indices: sequential flow and static
+  // taken targets skip the pc -> index hash lookup on the next step.
+  if (out.next_pc == m.fall_through) {
+    th->idx = m.next_index;
+  } else if (m.taken_index != sim::kNoPacketIndex &&
+             out.next_pc == m.taken_target) {
+    th->idx = m.taken_index;
+  } else {
+    th->idx = sim::kNoPacketIndex;
+  }
+  th->idx_pc = out.next_pc;
 
   ++stats_.packets;
   stats_.instrs += out.width;
@@ -266,10 +254,12 @@ void CycleCpu::step_impl() {
     ev.stall_ifetch = static_cast<u32>(est.ifetch);
     ev.stall_operand = static_cast<u32>(est.operand);
     ev.stall_fu = static_cast<u32>(est.fu);
+    ev.stall_lsu = static_cast<u32>(lsu_stall);
     ev.branch_taken = out.is_cond_branch && out.branch_taken;
     ev.mispredicted = next > t + 1 && out.is_cond_branch;
     trace_(ev);
   }
+  update_now_cache();
 }
 
 CycleSim::CycleSim(masm::Image image, const TimingConfig& cfg,
@@ -293,7 +283,7 @@ CycleSim::Result CycleSim::run(u64 max_packets) {
   bool watchdog_fired = false;
   while (!cpu_->halted() && cpu_->stats().packets < max_packets) {
     cpu_->step();
-    if (wd != 0 && cpu_->now() > cpu_->last_progress() + wd) {
+    if (wd != 0 && cpu_->cached_now() > cpu_->last_progress() + wd) {
       watchdog_fired = true;
       break;
     }

@@ -20,6 +20,8 @@
 // to the instruction-accurate simulator by construction.
 #pragma once
 
+#include <array>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -41,9 +43,36 @@ struct TraceEvent {
   u32 stall_ifetch = 0;
   u32 stall_operand = 0;
   u32 stall_fu = 0;
+  u32 stall_lsu = 0;   // LSU acceptance stall absorbed before issue
   bool branch_taken = false;
   bool mispredicted = false;
   bool context_switch = false;
+};
+
+/// Stall causes attributed by the cycle model, as a fixed enum so the
+/// per-packet hot path indexes a flat array instead of a string-keyed map.
+enum class StallCause : u8 {
+  kIfetch,
+  kOperand,
+  kFuBusy,
+  kLsu,
+  kBranchPenalty,
+};
+inline constexpr u32 kNumStallCauses = 5;
+
+/// Flat stall accumulators. aggregate() renders them into the string-keyed
+/// CounterSet used at report time, so report output is unchanged.
+struct StallCounters {
+  std::array<u64, kNumStallCauses> counts{};
+
+  void add(StallCause c, u64 delta = 1) {
+    counts[static_cast<u32>(c)] += delta;
+  }
+  u64 get(StallCause c) const { return counts[static_cast<u32>(c)]; }
+  u64 total() const;
+  /// Report-time view: named counters (zero counters omitted, matching the
+  /// sparse CounterSet the hot path used to populate).
+  CounterSet aggregate() const;
 };
 
 struct CpuStats {
@@ -55,7 +84,7 @@ struct CpuStats {
   u64 mispredicts = 0;
   u64 jumps = 0;
   u64 thread_switches = 0;
-  CounterSet stalls;  // ifetch / operand / fu_busy / lsu / branch_penalty
+  StallCounters stalls;  // ifetch / operand / fu_busy / lsu / branch_penalty
 };
 
 class CycleCpu {
@@ -73,6 +102,10 @@ public:
   const Trap* trap() const { return trap_ ? &*trap_ : nullptr; }
   /// Cycle at which the next packet would issue (== elapsed cycles so far).
   Cycle now() const;
+  /// now(), maintained incrementally by step(). Exact during a run loop —
+  /// nothing else mutates thread ready cycles between steps — and O(1), so
+  /// per-step watchdog / scheduling checks avoid the O(hw_threads) scan.
+  Cycle cached_now() const { return now_cache_; }
   /// Cycle of the last externally visible effect this CPU retired (store,
   /// atomic, console output, or halt) — the watchdog's progress signal.
   Cycle last_progress() const { return last_progress_; }
@@ -101,6 +134,11 @@ private:
     sim::CpuState state;
     Scoreboard sb;
     Cycle ready = 0;  // earliest cycle this thread may issue next
+    // Dense index of the packet at state.pc, or kNoPacketIndex if unknown.
+    // idx_pc records which pc the cached index was computed for, so external
+    // pc writes (set_thread_pc, tests) fall back to the map lookup.
+    u32 idx = sim::kNoPacketIndex;
+    Addr idx_pc = 0;
   };
 
   struct IssueEstimate {
@@ -113,8 +151,9 @@ private:
   /// structural) with the stall breakdown; the I$ access is performed
   /// (fetch-ahead happens whether or not the packet then issues), stall
   /// statistics are only recorded by the caller on actual issue.
-  IssueEstimate issue_time(ThreadCtx& th, const isa::Packet& p);
+  IssueEstimate issue_time(ThreadCtx& th, const sim::PacketMeta& m);
   void step_impl();
+  void update_now_cache();
 
   const sim::Program& prog_;
   mem::MemorySystem& ms_;
@@ -132,6 +171,7 @@ private:
   static constexpr u32 kFuResources = 2;  // 0 = iterative, 1 = fp64 pipe
   std::array<std::array<Cycle, kFuResources>, isa::kNumFus> fu_busy_{};
   Cycle current_cycle_ = 0;
+  Cycle now_cache_ = 0;
   std::string console_;
   CpuStats stats_;
   std::function<void(const TraceEvent&)> trace_;

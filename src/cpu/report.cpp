@@ -32,7 +32,8 @@ std::string performance_report(CycleCpu& cpu, mem::MemorySystem& ms) {
   os << "CPI stack (cycles per packet):\n";
   if (packets > 0) {
     line(os, "  issue", 1.0, "");
-    for (const auto& [cause, stall] : st.stalls.all()) {
+    const CounterSet stall_set = st.stalls.aggregate();
+    for (const auto& [cause, stall] : stall_set.all()) {
       line(os, ("  " + cause).c_str(),
            static_cast<double>(stall) / packets, "");
     }

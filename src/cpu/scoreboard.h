@@ -27,8 +27,17 @@ inline constexpr u8 kLsuProducer = 4;
 inline constexpr u8 kNoProducer = 5;
 
 /// Extra forwarding delay from `producer` to `consumer` on top of the
-/// producer's completion cycle.
-u32 bypass_delay(u8 producer, u8 consumer_fu, const TimingConfig& cfg);
+/// producer's completion cycle. Inline: this sits inside the operand loop
+/// of the cycle model's inner loop.
+inline u32 bypass_delay(u8 producer, u8 consumer_fu, const TimingConfig& cfg) {
+  if (producer == kNoProducer) return 0;
+  if (producer == kLsuProducer) return 0;  // load-to-use covers delivery
+  if (producer == consumer_fu) return 0;   // full bypass within an FU
+  if (!cfg.full_bypass) return cfg.wb_delay;
+  if (producer == 1 && consumer_fu == 0) return 0;  // FU1 -> FU0: no delay
+  if (producer == 0) return 1;  // FU0 -> FU1/2/3: next cycle
+  return cfg.wb_delay;          // all else waits for Trap/WB
+}
 
 class Scoreboard {
 public:

@@ -1,24 +1,16 @@
 #include "src/isa/opcodes.h"
 
-#include <array>
 #include <string>
 #include <unordered_map>
 
 namespace majc::isa {
 namespace {
 
-constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
-#define MAJC_INFO(name, str, form, cls, fumask, lat, interval, flags, flops, ops16) \
-  OpInfo{str, Form::form, OpClass::cls, fumask, lat, interval, flags, flops, ops16},
-    MAJC_OPCODE_LIST(MAJC_INFO)
-#undef MAJC_INFO
-}};
-
 const std::unordered_map<std::string_view, Op>& name_map() {
   static const auto* map = [] {
     auto* m = new std::unordered_map<std::string_view, Op>();
     for (u32 i = 0; i < kNumOpcodes; ++i) {
-      m->emplace(kOpTable[i].mnemonic, static_cast<Op>(i));
+      m->emplace(detail::kOpTable[i].mnemonic, static_cast<Op>(i));
     }
     return m;
   }();
@@ -26,8 +18,6 @@ const std::unordered_map<std::string_view, Op>& name_map() {
 }
 
 } // namespace
-
-const OpInfo& op_info(Op op) { return kOpTable[static_cast<u8>(op)]; }
 
 bool op_from_name(std::string_view name, Op& out) {
   const auto& m = name_map();

@@ -24,6 +24,7 @@
 //   N: op                      (no operands: nop, halt, membar)
 #pragma once
 
+#include <array>
 #include <string_view>
 
 #include "src/support/types.h"
@@ -246,8 +247,19 @@ struct OpInfo {
   constexpr bool writes_rd() const { return has(kWritesRd); }
 };
 
-/// Metadata for an opcode. O(1) table lookup.
-const OpInfo& op_info(Op op);
+namespace detail {
+inline constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
+#define MAJC_INFO(name, str, form, cls, fumask, lat, interval, flags, flops, ops16) \
+  OpInfo{str, Form::form, OpClass::cls, fumask, lat, interval, flags, flops, ops16},
+    MAJC_OPCODE_LIST(MAJC_INFO)
+#undef MAJC_INFO
+}};
+} // namespace detail
+
+/// Metadata for an opcode. O(1) table lookup, inlined on hot paths.
+constexpr const OpInfo& op_info(Op op) {
+  return detail::kOpTable[static_cast<u8>(op)];
+}
 
 /// Parse a mnemonic; returns false if unknown.
 bool op_from_name(std::string_view name, Op& out);

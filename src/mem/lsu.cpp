@@ -6,6 +6,35 @@ namespace majc::mem {
 
 using sim::MemAccess;
 
+CounterSet Lsu::counters() const {
+  static constexpr std::array<const char*, kNumLsuCounters> kNames = {
+      "loads",
+      "stores",
+      "atomics",
+      "membars",
+      "load_misses",
+      "store_misses",
+      "mshr_merges",
+      "mshr_full_stalls",
+      "load_buffer_stalls",
+      "store_buffer_stalls",
+      "blocking_stalls",
+      "store_forwards",
+      "dport_conflicts",
+      "wc_lines",
+      "wc_stores",
+      "prefetches",
+      "prefetches_queued",
+      "prefetches_dropped",
+      "fill_parity_retries",
+  };
+  CounterSet out;
+  for (u32 i = 0; i < kNumLsuCounters; ++i) {
+    if (counters_[i] != 0) out.add(kNames[i], counters_[i]);
+  }
+  return out;
+}
+
 Lsu::Lsu(const TimingConfig& cfg, Cache& dcache, Dram& dram, Crossbar& xbar,
          Port port, Cycle* dcache_port_free, const FaultPlan* plan)
     : cfg_(cfg),
@@ -31,7 +60,7 @@ Cycle Lsu::fill_line(Addr addr, Cycle now) {
   if (plan_ != nullptr && plan_->fill_corrupted(line, fills_++)) {
     // Parity-bad fill: discard and refetch from DRDRAM. Data stays correct
     // (the backing store is the truth); the cost is purely timing.
-    counters_.add("fill_parity_retries");
+    bump(LsuCounter::kFillParityRetries);
     const Cycle at2 = xbar_.transfer(port_, Port::kMem, 0, done);
     done = xbar_.transfer(Port::kMem, port_, cfg_.line_bytes,
                           dram_.request(line, cfg_.line_bytes, at2));
@@ -52,7 +81,7 @@ Cycle Lsu::cached_access(Addr addr, u32 bytes, bool is_store, bool allocate,
   // A fill already in flight for this line? Attach to it (miss merge).
   const Addr line = addr & ~Addr{cfg_.line_bytes - 1};
   if (auto it = mshr_.find(line); it != mshr_.end() && it->second > now) {
-    counters_.add("mshr_merges");
+    bump(LsuCounter::kMshrMerges);
     // Mark the line present for subsequent accesses.
     dcache_.access(addr, is_store, allocate);
     return it->second;
@@ -60,9 +89,9 @@ Cycle Lsu::cached_access(Addr addr, u32 bytes, bool is_store, bool allocate,
   const Cache::AccessResult res = dcache_.access(addr, is_store, allocate);
   if (res.hit) return now;
 
-  counters_.add(is_store ? "store_misses" : "load_misses");
+  bump(is_store ? LsuCounter::kStoreMisses : LsuCounter::kLoadMisses);
   const Cycle start = mshr_ready(now);
-  if (start > now) counters_.add("mshr_full_stalls", start - now);
+  if (start > now) bump(LsuCounter::kMshrFullStalls, start - now);
   // Entries that retire by `start` free their slots for this miss.
   std::erase_if(mshr_, [start](const auto& kv) { return kv.second <= start; });
   const Cycle done = fill_line(line, start);
@@ -85,7 +114,7 @@ Lsu::IssueResult Lsu::issue(const MemAccess& acc, Cycle now) {
   }
   if (!cfg_.nonblocking_loads && blocked_until_ > now) {
     out.issue_at = blocked_until_;
-    counters_.add("blocking_stalls", blocked_until_ - now);
+    bump(LsuCounter::kBlockingStalls, blocked_until_ - now);
     now = blocked_until_;
     prune(now);
   }
@@ -96,7 +125,7 @@ Lsu::IssueResult Lsu::issue(const MemAccess& acc, Cycle now) {
        acc.kind == MemAccess::Kind::kStore ||
        acc.kind == MemAccess::Kind::kAtomic)) {
     if (*dport_free_ > now) {
-      counters_.add("dport_conflicts", *dport_free_ - now);
+      bump(LsuCounter::kDportConflicts, *dport_free_ - now);
       out.issue_at = *dport_free_;
       now = *dport_free_;
       prune(now);
@@ -109,7 +138,7 @@ Lsu::IssueResult Lsu::issue(const MemAccess& acc, Cycle now) {
       // Load buffer capacity (5 entries).
       if (loads_.size() >= cfg_.load_buffers) {
         const Cycle slot = *std::min_element(loads_.begin(), loads_.end());
-        counters_.add("load_buffer_stalls", slot > now ? slot - now : 0);
+        bump(LsuCounter::kLoadBufferStalls, slot > now ? slot - now : 0);
         out.issue_at = std::max(now, slot);
         now = out.issue_at;
         prune(now);
@@ -117,7 +146,7 @@ Lsu::IssueResult Lsu::issue(const MemAccess& acc, Cycle now) {
       // Store-to-load forwarding from the store buffer.
       for (const StoreEntry& s : stores_) {
         if (s.addr <= acc.addr && acc.addr + acc.bytes <= s.addr + s.bytes) {
-          counters_.add("store_forwards");
+          bump(LsuCounter::kStoreForwards);
           out.data_ready = now + 1;
           loads_.push_back(out.data_ready);
           return out;
@@ -140,14 +169,14 @@ Lsu::IssueResult Lsu::issue(const MemAccess& acc, Cycle now) {
       if (!cfg_.nonblocking_loads && ready > now + cfg_.load_to_use) {
         blocked_until_ = ready;
       }
-      counters_.add("loads");
+      bump(LsuCounter::kLoads);
       return out;
     }
     case MemAccess::Kind::kStore: {
       if (stores_.size() >= cfg_.store_buffers) {
         Cycle slot = stores_.front().done;
         for (const StoreEntry& s : stores_) slot = std::min(slot, s.done);
-        counters_.add("store_buffer_stalls", slot > now ? slot - now : 0);
+        bump(LsuCounter::kStoreBufferStalls, slot > now ? slot - now : 0);
         out.issue_at = std::max(now, slot);
         now = out.issue_at;
         prune(now);
@@ -177,12 +206,12 @@ Lsu::IssueResult Lsu::issue(const MemAccess& acc, Cycle now) {
                               dram_.request(line, cfg_.line_bytes, at_mem));
           victim->line = line;
           victim->opened = now;
-          counters_.add("wc_lines");
+          bump(LsuCounter::kWcLines);
         }
         // The store retires into the combining buffer immediately; the line
         // write drains in the background (tracked for membar via drain()).
         done = now + 1;
-        counters_.add("wc_stores");
+        bump(LsuCounter::kWcStores);
       } else {
         done = cached_access(acc.addr, acc.bytes, /*is_store=*/true,
                              acc.attr != 2, now) +
@@ -190,7 +219,7 @@ Lsu::IssueResult Lsu::issue(const MemAccess& acc, Cycle now) {
       }
       stores_.push_back({acc.addr, acc.bytes, done});
       out.data_ready = done;
-      counters_.add("stores");
+      bump(LsuCounter::kStores);
       return out;
     }
     case MemAccess::Kind::kAtomic: {
@@ -203,7 +232,7 @@ Lsu::IssueResult Lsu::issue(const MemAccess& acc, Cycle now) {
       out.issue_at = start;
       out.data_ready = done;
       loads_.push_back(done);
-      counters_.add("atomics");
+      bump(LsuCounter::kAtomics);
       return out;
     }
     case MemAccess::Kind::kPrefetch: {
@@ -224,22 +253,22 @@ Lsu::IssueResult Lsu::issue(const MemAccess& acc, Cycle now) {
         // The queue is finite: refuse to book fills more than ~0.5k cycles
         // ahead of real time (non-faulting prefetches are discardable).
         if (start > now + 512) {
-          counters_.add("prefetches_dropped");
+          bump(LsuCounter::kPrefetchesDropped);
           return out;
         }
         mshr_.erase(oldest);
-        counters_.add("prefetches_queued");
+        bump(LsuCounter::kPrefetchesQueued);
       }
       const Cycle done = fill_line(line, start);
       mshr_.emplace(line, done);
       dcache_.access(acc.addr, /*is_store=*/false, /*allocate=*/true);
-      counters_.add("prefetches");
+      bump(LsuCounter::kPrefetches);
       return out;
     }
     case MemAccess::Kind::kMembar: {
       out.issue_at = drain(now);
       out.data_ready = out.issue_at;
-      counters_.add("membars");
+      bump(LsuCounter::kMembars);
       return out;
     }
     case MemAccess::Kind::kNone:

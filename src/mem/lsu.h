@@ -25,6 +25,32 @@
 
 namespace majc::mem {
 
+/// LSU event counters as a fixed enum: the issue path runs once per memory
+/// operation, so bumps are flat array increments instead of string-keyed
+/// map lookups. counters() renders the report-time CounterSet view.
+enum class LsuCounter : u8 {
+  kLoads,
+  kStores,
+  kAtomics,
+  kMembars,
+  kLoadMisses,
+  kStoreMisses,
+  kMshrMerges,
+  kMshrFullStalls,
+  kLoadBufferStalls,
+  kStoreBufferStalls,
+  kBlockingStalls,
+  kStoreForwards,
+  kDportConflicts,
+  kWcLines,
+  kWcStores,
+  kPrefetches,
+  kPrefetchesQueued,
+  kPrefetchesDropped,
+  kFillParityRetries,
+};
+inline constexpr u32 kNumLsuCounters = 19;
+
 class Lsu {
 public:
   struct IssueResult {
@@ -46,8 +72,11 @@ public:
   /// Memory barrier: cycle at which all outstanding operations complete.
   Cycle drain(Cycle now);
 
-  const CounterSet& counters() const { return counters_; }
-  void reset_stats() { counters_.clear(); }
+  /// Report-time view of the flat counters (zero counters omitted, matching
+  /// the sparse map the issue path used to populate).
+  CounterSet counters() const;
+  u64 counter(LsuCounter c) const { return counters_[static_cast<u32>(c)]; }
+  void reset_stats() { counters_.fill(0); }
 
 private:
   struct StoreEntry {
@@ -86,7 +115,11 @@ private:
   };
   std::array<WcEntry, 4> wc_{};
   Cycle wc_done_ = 0;
-  CounterSet counters_;
+  std::array<u64, kNumLsuCounters> counters_{};
+
+  void bump(LsuCounter c, u64 delta = 1) {
+    counters_[static_cast<u32>(c)] += delta;
+  }
 };
 
 } // namespace majc::mem

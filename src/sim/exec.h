@@ -10,7 +10,7 @@
 // PacketOutcome, so timed runs compute bit-identical results.
 #pragma once
 
-#include <functional>
+#include <string>
 
 #include "src/isa/encoding.h"
 #include "src/sim/memory.h"
@@ -54,11 +54,14 @@ struct ExecEnv {
   /// Raise a kDivideByZero trap on integer div/divu by zero instead of the
   /// default total semantics (result 0).
   bool trap_div_zero = false;
-  /// Called for TRAP instructions with (code, value of rs1).
-  std::function<void(u32, u32)> trap;
-  /// GETTICK source; packet count in the functional sim, cycle count in the
-  /// cycle-accurate model. May be empty (GETTICK then reads 0).
-  std::function<u64()> tick;
+  /// TRAP instruction output sink: formatted console text is appended here.
+  /// May be null (TRAP is then a no-op). Direct member, not a std::function
+  /// — this is read on the per-instruction hot path.
+  std::string* console = nullptr;
+  /// GETTICK source: the driver's live counter — packet count in the
+  /// functional sim, cycle count in the cycle-accurate model. May be null
+  /// (GETTICK then reads 0).
+  const u64* tick = nullptr;
 
   // Set by the driver before each packet.
   Addr packet_pc = 0;
@@ -101,8 +104,17 @@ void exec_mem_op(const isa::Instr& in, u32 fu, const CpuState& st, ExecEnv& env,
 void exec_control(const isa::Instr& in, u32 fu, const CpuState& st,
                   ExecEnv& env, SlotEffects& fx);
 
+/// Format one console TRAP according to ConsoleTrap; shared by both
+/// simulators so functional and timed runs produce identical console text.
+void format_console_trap(std::string& out, u32 code, u32 value);
+
 /// Execute the packet at st.pc (which must equal the packet's address);
 /// commits register writes, performs memory effects and advances st.pc.
 PacketOutcome execute_packet(CpuState& st, const isa::Packet& p, ExecEnv& env);
+
+/// Fast-path variant with the packet's precomputed fall-through address
+/// (from PacketMeta), skipping the per-issue p.bytes() recomputation.
+PacketOutcome execute_packet(CpuState& st, const isa::Packet& p,
+                             Addr fall_through, ExecEnv& env);
 
 } // namespace majc::sim

@@ -1,8 +1,35 @@
 // Memory operation and control-flow semantics (both FU0-only classes).
+#include <bit>
+#include <cstdio>
+
 #include "src/sim/exec.h"
 #include "src/support/trap.h"
 
 namespace majc::sim {
+
+void format_console_trap(std::string& out, u32 code, u32 value) {
+  char buf[64];
+  switch (static_cast<ConsoleTrap>(code)) {
+    case ConsoleTrap::kPrintInt:
+      std::snprintf(buf, sizeof buf, "%d\n", static_cast<i32>(value));
+      break;
+    case ConsoleTrap::kPrintChar:
+      buf[0] = static_cast<char>(value);
+      buf[1] = '\0';
+      break;
+    case ConsoleTrap::kPrintHex:
+      std::snprintf(buf, sizeof buf, "0x%08x\n", value);
+      break;
+    case ConsoleTrap::kPrintFloat:
+      std::snprintf(buf, sizeof buf, "%g\n", std::bit_cast<float>(value));
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "trap(%u,%u)\n", code, value);
+      break;
+  }
+  out += buf;
+}
+
 namespace {
 
 using isa::Instr;
@@ -198,7 +225,10 @@ void exec_control(const Instr& in, u32 fu, const CpuState& st, ExecEnv& env,
     case Op::kNop:
       break;
     case Op::kTrap:
-      if (env.trap) env.trap(static_cast<u32>(in.imm), st.reads(in.rs1, fu));
+      if (env.console != nullptr) {
+        format_console_trap(*env.console, static_cast<u32>(in.imm),
+                            st.reads(in.rs1, fu));
+      }
       break;
     case Op::kGetcpu:
       fx.writes.push_back({isa::to_phys(in.rd, fu), env.cpu_id});
@@ -208,7 +238,7 @@ void exec_control(const Instr& in, u32 fu, const CpuState& st, ExecEnv& env,
       break;
     case Op::kGettick:
       fx.writes.push_back({isa::to_phys(in.rd, fu),
-                           static_cast<u32>(env.tick ? env.tick() : 0)});
+                           static_cast<u32>(env.tick ? *env.tick : 0)});
       break;
     default:
       raise_trap(TrapCause::kIllegalInstruction,
@@ -217,8 +247,13 @@ void exec_control(const Instr& in, u32 fu, const CpuState& st, ExecEnv& env,
 }
 
 PacketOutcome execute_packet(CpuState& st, const isa::Packet& p, ExecEnv& env) {
+  return execute_packet(st, p, st.pc + p.bytes(), env);
+}
+
+PacketOutcome execute_packet(CpuState& st, const isa::Packet& p,
+                             Addr fall_through, ExecEnv& env) {
   env.packet_pc = st.pc;
-  env.fall_through = st.pc + p.bytes();
+  env.fall_through = fall_through;
 
   std::array<SlotEffects, isa::kMaxSlots> fx;
   for (u32 i = 0; i < p.width; ++i) {

@@ -1,6 +1,5 @@
 #include "src/sim/functional_sim.h"
 
-#include <bit>
 #include <cstdio>
 
 #include "src/isa/disasm.h"
@@ -13,20 +12,37 @@ Program::Program(masm::Image image) : image_(std::move(image)) {
   while (w < image_.code.size()) {
     const isa::Packet p = isa::decode_packet(
         std::span<const u32>(image_.code).subspan(w));
-    index_.emplace(image_.code_base + w * 4, static_cast<u32>(packets_.size()));
+    const Addr pc = image_.code_base + w * 4;
+    index_.emplace(pc, static_cast<u32>(packets_.size()));
+    meta_.push_back(compute_packet_meta(p, pc));
     packets_.push_back(p);
     w += p.width;
+  }
+  // Second pass: resolve fall-through and static-target indices now that
+  // every packet address is known. Packets are contiguous, so packet i
+  // falls through to i + 1 (the last packet falls off the image).
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    if (i + 1 < meta_.size()) meta_[i].next_index = static_cast<u32>(i + 1);
+    if (meta_[i].has_static_target) {
+      if (auto it = index_.find(meta_[i].taken_target); it != index_.end()) {
+        meta_[i].taken_index = it->second;
+      }
+    }
   }
 }
 
 const isa::Packet& Program::packet_at(Addr pc) const {
+  return packets_[index_of(pc)];
+}
+
+u32 Program::index_of(Addr pc) const {
   auto it = index_.find(pc);
   if (it == index_.end()) {
     raise_trap(TrapCause::kIllegalPacket,
                "control transfer to address " + std::to_string(pc) +
                    " which is not a packet boundary");
   }
-  return packets_[it->second];
+  return it->second;
 }
 
 std::string trap_report(const Trap& trap, const Program& prog,
@@ -70,26 +86,7 @@ void load_image(const masm::Image& img, MemoryBus& mem) {
 }
 
 void FunctionalSim::format_trap(std::string& out, u32 code, u32 value) {
-  char buf[64];
-  switch (static_cast<ConsoleTrap>(code)) {
-    case ConsoleTrap::kPrintInt:
-      std::snprintf(buf, sizeof buf, "%d\n", static_cast<i32>(value));
-      break;
-    case ConsoleTrap::kPrintChar:
-      buf[0] = static_cast<char>(value);
-      buf[1] = '\0';
-      break;
-    case ConsoleTrap::kPrintHex:
-      std::snprintf(buf, sizeof buf, "0x%08x\n", value);
-      break;
-    case ConsoleTrap::kPrintFloat:
-      std::snprintf(buf, sizeof buf, "%g\n", std::bit_cast<float>(value));
-      break;
-    default:
-      std::snprintf(buf, sizeof buf, "trap(%u,%u)\n", code, value);
-      break;
-  }
-  out += buf;
+  format_console_trap(out, code, value);
 }
 
 FunctionalSim::FunctionalSim(masm::Image image, std::size_t mem_bytes)
@@ -104,15 +101,29 @@ RunResult FunctionalSim::run(u64 max_packets) {
   RunResult res;
   ExecEnv env{mem_};
   env.trap_div_zero = trap_div_zero_;
-  env.trap = [this](u32 code, u32 value) { format_trap(console_, code, value); };
-  env.tick = [this] { return packets_run_; };
+  env.console = &console_;
+  env.tick = &packets_run_;
+  // Index-based fast path: sequential flow and statically-targeted control
+  // transfers follow the predecoded indices; only dynamic transfers (jmpl,
+  // or a resumed run) consult the pc -> index map.
+  u32 idx = kNoPacketIndex;
   while (!state_.halted && res.packets < max_packets) {
     try {
-      const isa::Packet& p = program_.packet_at(state_.pc);
-      const PacketOutcome out = execute_packet(state_, p, env);
+      if (idx == kNoPacketIndex) idx = program_.index_of(state_.pc);
+      const isa::Packet& p = program_.packet(idx);
+      const PacketMeta& m = program_.meta(idx);
+      const PacketOutcome out = execute_packet(state_, p, m.fall_through, env);
       ++res.packets;
       ++packets_run_;
       res.instrs += out.width;
+      if (out.next_pc == m.fall_through) {
+        idx = m.next_index;
+      } else if (m.taken_index != kNoPacketIndex &&
+                 out.next_pc == m.taken_target) {
+        idx = m.taken_index;
+      } else {
+        idx = kNoPacketIndex;
+      }
     } catch (const TrapException& e) {
       // Precise delivery: the faulting packet committed no register writes,
       // so state_.pc still names it.

@@ -13,24 +13,37 @@
 
 #include "src/masm/image.h"
 #include "src/sim/exec.h"
+#include "src/sim/predecode.h"
 #include "src/support/trap.h"
 
 namespace majc::sim {
 
 /// Pre-decoded code image. Packets are addressable only at their start; a
 /// control transfer into the middle of a packet is a model fault.
+///
+/// Alongside the decoded packets, the Program predecodes a PacketMeta per
+/// packet (operand/writeback lists, latencies, fall-through / static-target
+/// indices; see predecode.h) so the simulators' inner loops run index-based
+/// and derivation-free: the pc -> index hash map is only consulted for
+/// dynamic control transfers.
 class Program {
 public:
   explicit Program(masm::Image image);
 
   bool has_packet(Addr pc) const { return index_.count(pc) != 0; }
   const isa::Packet& packet_at(Addr pc) const;
+  /// Dense index of the packet at `pc`; raises a kIllegalPacket trap when
+  /// `pc` is not a packet boundary (same contract as packet_at).
+  u32 index_of(Addr pc) const;
+  const isa::Packet& packet(u32 index) const { return packets_[index]; }
+  const PacketMeta& meta(u32 index) const { return meta_[index]; }
   std::size_t num_packets() const { return packets_.size(); }
   const masm::Image& image() const { return image_; }
 
 private:
   masm::Image image_;
   std::vector<isa::Packet> packets_;
+  std::vector<PacketMeta> meta_;
   std::unordered_map<Addr, u32> index_;
 };
 

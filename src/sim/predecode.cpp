@@ -1,0 +1,77 @@
+#include "src/sim/predecode.h"
+
+namespace majc::sim {
+
+using isa::Instr;
+using isa::PhysReg;
+
+void collect_sources(const Instr& in, u32 fu, InlineVec<PhysReg, 12>& out) {
+  const isa::OpInfo& info = in.info();
+  auto add = [&](isa::RegSpec spec, bool pair) {
+    const PhysReg p = isa::to_phys(spec, fu);
+    out.push_back(p);
+    if (pair) out.push_back(static_cast<PhysReg>(p + 1));
+  };
+  if (info.has(isa::kReadsRs1)) add(in.rs1, info.has(isa::kRs1Pair));
+  if (info.has(isa::kReadsRs2)) add(in.rs2, info.has(isa::kRs2Pair));
+  if (info.has(isa::kReadsRd)) {
+    if (info.has(isa::kRdGroup)) {
+      const PhysReg p = isa::to_phys(in.rd, fu);
+      for (u32 i = 0; i < 8; ++i) out.push_back(static_cast<PhysReg>(p + i));
+    } else {
+      add(in.rd, info.has(isa::kRdPair));
+    }
+  }
+}
+
+void collect_dests(const Instr& in, u32 fu, InlineVec<PhysReg, 8>& out) {
+  const isa::OpInfo& info = in.info();
+  if (info.has(isa::kCall)) {
+    out.push_back(isa::to_phys(isa::kLinkReg, fu));
+    return;
+  }
+  if (!info.writes_rd()) return;
+  const PhysReg p = isa::to_phys(in.rd, fu);
+  if (info.has(isa::kRdGroup)) {
+    for (u32 i = 0; i < 8; ++i) out.push_back(static_cast<PhysReg>(p + i));
+  } else {
+    out.push_back(p);
+    if (info.has(isa::kRdPair)) out.push_back(static_cast<PhysReg>(p + 1));
+  }
+}
+
+PacketMeta compute_packet_meta(const isa::Packet& p, Addr pc) {
+  PacketMeta m;
+  m.pc = pc;
+  m.bytes = p.bytes();
+  m.fall_through = pc + m.bytes;
+  m.width = p.width;
+  for (u32 i = 0; i < p.width; ++i) {
+    const Instr& in = p.slot[i];
+    const isa::OpInfo& info = in.info();
+
+    InlineVec<PhysReg, 12> srcs;
+    collect_sources(in, i, srcs);
+    for (PhysReg r : srcs) m.srcs.push_back({r, static_cast<u8>(i)});
+
+    PacketMeta::SlotMeta& sm = m.slot[i];
+    collect_dests(in, i, sm.dests);
+    sm.latency = info.latency;
+    sm.issue_interval = info.issue_interval;
+    sm.resource = static_cast<i8>(fu_resource_of(info));
+    sm.load_data = info.is_load() || info.has(isa::kAtomic);
+    m.any_resource = m.any_resource || sm.resource >= 0;
+    m.any_dests = m.any_dests || sm.dests.size() > 0;
+  }
+  // Static control-transfer target (branch / call, always slot 0): record
+  // the target address so the Program can cache the target's dense index.
+  const isa::OpInfo& info0 = p.slot[0].info();
+  if (p.width > 0 && (info0.has(isa::kBranch) || info0.has(isa::kCall))) {
+    m.has_static_target = true;
+    m.taken_target =
+        pc + static_cast<Addr>(static_cast<i64>(p.slot[0].imm) * 4);
+  }
+  return m;
+}
+
+} // namespace majc::sim

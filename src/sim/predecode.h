@@ -1,0 +1,82 @@
+// Predecoded per-packet metadata for the simulator fast paths.
+//
+// MAJC is a compiler-scheduled VLIW: every per-slot operand list, latency,
+// resource class and byte width is a static property of the packet, so both
+// simulators can compute them once at load time instead of re-deriving them
+// from OpInfo on every issue. PacketMeta is that cache. It also carries the
+// dense index of the fall-through packet (and of a static branch/call
+// target), so sequential flow — and statically-targeted control flow —
+// never touches the pc -> index hash map; only dynamic jumps (jmpl) do.
+//
+// The metadata is purely host-side: it changes how fast the simulators run,
+// never what they compute. tests/test_predecode.cpp asserts every field
+// against a fresh recomputation from decode_packet + OpInfo.
+#pragma once
+
+#include <array>
+
+#include "src/isa/encoding.h"
+#include "src/support/inline_vec.h"
+#include "src/support/types.h"
+
+namespace majc::sim {
+
+/// Sentinel for "no predecoded packet at this index" (fall-through past the
+/// end of the image, or a control-transfer target that is not a packet
+/// boundary — resolved, and trapped, through the pc -> index map instead).
+inline constexpr u32 kNoPacketIndex = ~u32{0};
+
+/// Physical source registers read by `in` when executing in slot `fu`.
+void collect_sources(const isa::Instr& in, u32 fu,
+                     InlineVec<isa::PhysReg, 12>& out);
+
+/// Physical destination registers written by `in` in slot `fu`.
+void collect_dests(const isa::Instr& in, u32 fu,
+                   InlineVec<isa::PhysReg, 8>& out);
+
+/// Structural sub-unit an op occupies past issue: -1 fully pipelined,
+/// 0 the iterative divide/rsqrt unit, 1 the partially pipelined FP64 pipe.
+constexpr int fu_resource_of(const isa::OpInfo& info) {
+  if (info.issue_interval <= 1) return -1;
+  return info.cls == isa::OpClass::kFp64 ? 1 : 0;
+}
+
+/// Everything the cycle model's inner loop needs about one packet, hoisted
+/// to decode time.
+struct PacketMeta {
+  /// One operand read: physical register + consuming slot (for the bypass
+  /// matrix). All slots' reads, flattened in slot order.
+  struct SrcRead {
+    isa::PhysReg reg = 0;
+    u8 fu = 0;
+  };
+
+  /// Static writeback/structural facts of one slot.
+  struct SlotMeta {
+    InlineVec<isa::PhysReg, 8> dests;  // physical destination registers
+    u8 latency = 1;                    // producer latency (non-load data)
+    u8 issue_interval = 1;
+    i8 resource = -1;       // fu_resource_of(); -1 = fully pipelined
+    bool load_data = false; // dests are delivered by the LSU (load/atomic)
+  };
+
+  Addr pc = 0;
+  Addr fall_through = 0;  // pc + bytes
+  u32 bytes = 0;
+  u32 width = 0;
+  u32 next_index = kNoPacketIndex;   // dense index of the fall-through packet
+  u32 taken_index = kNoPacketIndex;  // index of the static branch/call target
+  Addr taken_target = 0;             // valid when has_static_target
+  bool has_static_target = false;    // slot 0 is a pc-relative branch/call
+  bool any_resource = false;         // some slot has resource >= 0
+  bool any_dests = false;            // some slot writes a register
+  InlineVec<SrcRead, 48> srcs;       // 4 slots x up to 12 sources
+  std::array<SlotMeta, isa::kMaxSlots> slot{};
+};
+
+/// Compute the metadata of the packet at `pc`. next_index / taken_index are
+/// left at kNoPacketIndex; the Program fills them once all packet addresses
+/// are known.
+PacketMeta compute_packet_meta(const isa::Packet& p, Addr pc);
+
+} // namespace majc::sim

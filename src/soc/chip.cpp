@@ -55,7 +55,9 @@ Majc5200::Result Majc5200::run(u64 max_packets_per_cpu) {
     cpu::CycleCpu* next = nullptr;
     for (auto& c : cpus_) {
       if (c->halted() || c->stats().packets >= max_packets_per_cpu) continue;
-      if (next == nullptr || c->now() < next->now()) next = c.get();
+      if (next == nullptr || c->cached_now() < next->cached_now()) {
+        next = c.get();
+      }
     }
     if (next == nullptr) break;
     next->step();
@@ -73,7 +75,7 @@ Majc5200::Result Majc5200::run(u64 max_packets_per_cpu) {
       for (const auto& c : cpus_) {
         progress = std::max(progress, c->last_progress());
       }
-      if (next->now() > progress + wd) {
+      if (next->cached_now() > progress + wd) {
         watchdog_fired = true;
         break;
       }

@@ -1,0 +1,71 @@
+// Guest-visible cycle counts must not move when the host-side fast path
+// changes. The golden values below were captured from the pre-predecode
+// model (PR 1 tree) with the default TimingConfig; the predecode layer,
+// flat stall counters and cached-now bookkeeping are host-only
+// optimisations, so every kernel must reproduce them bit-identically.
+//
+// If a future PR changes the *timing model* on purpose, re-capture these
+// numbers and say so in the commit; an unexplained diff here is a bug.
+#include <gtest/gtest.h>
+
+#include "src/kernels/biquad.h"
+#include "src/kernels/bitrev.h"
+#include "src/kernels/cfir.h"
+#include "src/kernels/color_convert.h"
+#include "src/kernels/convolve.h"
+#include "src/kernels/dct_quant.h"
+#include "src/kernels/fft.h"
+#include "src/kernels/fir.h"
+#include "src/kernels/idct.h"
+#include "src/kernels/kernel.h"
+#include "src/kernels/lms.h"
+#include "src/kernels/max_search.h"
+#include "src/kernels/mb_decode.h"
+#include "src/kernels/motion_est.h"
+#include "src/kernels/vld.h"
+
+namespace majc {
+namespace {
+
+struct Golden {
+  const char* name;
+  Cycle kernel_cycles;
+  Cycle total_cycles;
+};
+
+void check(const kernels::KernelSpec& spec, const Golden& g) {
+  SCOPED_TRACE(g.name);
+  const kernels::KernelRun r = kernels::run_kernel(spec);
+  ASSERT_TRUE(r.valid) << r.message;
+  EXPECT_EQ(r.kernel_cycles, g.kernel_cycles);
+  EXPECT_EQ(r.total_cycles, g.total_cycles);
+}
+
+TEST(CycleInvariance, Table1DspKernels) {
+  check(kernels::make_biquad_spec(), {"biquad", 51u, 914u});
+  check(kernels::make_fir_spec(), {"fir", 1899u, 5495u});
+  check(kernels::make_iir_spec(), {"iir", 1873u, 5272u});
+  check(kernels::make_cfir_spec(), {"cfir", 10507u, 23744u});
+  check(kernels::make_lms_spec(), {"lms", 58u, 794u});
+  check(kernels::make_max_search_spec(), {"max_search", 140u, 1417u});
+  check(kernels::make_bitrev_spec(), {"bitrev", 3069u, 10909u});
+  check(kernels::make_fft_radix2_spec(), {"fft_radix2", 76180u, 76282u});
+  check(kernels::make_fft_radix4_spec(), {"fft_radix4", 58494u, 58574u});
+}
+
+TEST(CycleInvariance, Table2VideoKernels) {
+  check(kernels::make_idct_spec(), {"idct", 317u, 5115u});
+  check(kernels::make_dct_quant_spec(), {"dct_quant", 365u, 5809u});
+  check(kernels::make_vld_spec(), {"vld", 12480u, 12583u});
+  check(kernels::make_motion_est_spec(), {"motion_est", 4143u, 15474u});
+  check(kernels::make_mb_decode_spec(), {"mb_decode", 11794u, 12391u});
+}
+
+TEST(CycleInvariance, StreamingKernels) {
+  check(kernels::make_convolve_spec(), {"convolve", 1908265u, 1908456u});
+  check(kernels::make_color_convert_spec(),
+        {"color_convert", 1602678u, 1603332u});
+}
+
+} // namespace
+} // namespace majc
