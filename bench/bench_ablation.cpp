@@ -23,11 +23,11 @@ double cy(const KernelSpec& spec, const TimingConfig& cfg) {
   return static_cast<double>(r.kernel_cycles);
 }
 
-void ablate(const std::string& what, const KernelSpec& spec,
+void ablate(Table& table, const std::string& what, const KernelSpec& spec,
             const TimingConfig& off) {
   const double base = cy(spec, TimingConfig{});
   const double cost = cy(spec, off);
-  row(what + " (" + spec.name + ")", "feature on",
+  table.row(what + " (" + spec.name + ")", "feature on",
       fmt("%.2fx slower off", cost / base));
 }
 
@@ -92,32 +92,32 @@ double stream_cycles(const TimingConfig& cfg, bool with_prefetch) {
 
 } // namespace
 
-int main() {
-  header("Ablations: cost of disabling each MAJC-5200 design feature");
+int main(int argc, char** argv) {
+  Table table("Ablations: cost of disabling each MAJC-5200 design feature", argc, argv);
 
   {
     TimingConfig off;
     off.full_bypass = false;
     const double on_cy = two_scalar_cycles(TimingConfig{});
     const double off_cy = two_scalar_cycles(off);
-    row("FU0<->FU1 bypass (two-scalar chain)", "feature on",
+    table.row("FU0<->FU1 bypass (two-scalar chain)", "feature on",
         fmt("%.2fx slower off", off_cy / on_cy));
-    ablate("bypass network", make_idct_spec(), off);
-    ablate("bypass network", make_fir_spec(), off);
+    ablate(table, "bypass network", make_idct_spec(), off);
+    ablate(table, "bypass network", make_fir_spec(), off);
   }
   {
     TimingConfig off;
     off.bpred_enabled = false;
-    ablate("gshare branch prediction", make_vld_spec(), off);
+    ablate(table, "gshare branch prediction", make_vld_spec(), off);
   }
   {
     TimingConfig on;
     TimingConfig off;
     off.nonblocking_loads = false;
-    row("non-blocking loads (cold stream)", "feature on",
+    table.row("non-blocking loads (cold stream)", "feature on",
         fmt("%.2fx slower off",
             stream_cycles(off, false) / stream_cycles(on, false)));
-    ablate("non-blocking loads", make_bitrev_spec(), off);
+    ablate(table, "non-blocking loads", make_bitrev_spec(), off);
   }
   {
     // Prefetch micro: a dependent single-stream walk where each line miss
@@ -146,7 +146,7 @@ int main() {
       require(res.halted, "prefetch micro did not halt");
       return static_cast<double>(res.cycles);
     };
-    row("block prefetch (cold stream)", "prefetch on",
+    table.row("block prefetch (cold stream)", "prefetch on",
         fmt("%.2fx faster with pref", dep_stream(false) / dep_stream(true)));
   }
   {
@@ -179,7 +179,7 @@ int main() {
     };
     const double dual = run_chip(true);
     const double single = run_chip(false);
-    row("dual-ported shared D$ (2-CPU loop)", "feature on",
+    table.row("dual-ported shared D$ (2-CPU loop)", "feature on",
         fmt("%.2fx slower off", single / dual));
   }
   {
@@ -213,7 +213,7 @@ int main() {
       require(res.halted, "microthreading walk did not halt");
       return static_cast<double>(res.cycles);
     };
-    row("vertical microthreading (2 ctx)", "extension",
+    table.row("vertical microthreading (2 ctx)", "extension",
         fmt("%.2fx faster than 1 ctx", walk(4096, 1) / walk(2048, 2)));
   }
   {
@@ -222,7 +222,7 @@ int main() {
     perfect.perfect_icache = true;
     const double base = cy(make_convolve_spec(), TimingConfig{});
     const double ideal = cy(make_convolve_spec(), perfect);
-    row("memory effects (5x5 convolution)", "paper reports both",
+    table.row("memory effects (5x5 convolution)", "paper reports both",
         fmt("%.2fx of ideal", base / ideal));
   }
   return 0;

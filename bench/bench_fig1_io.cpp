@@ -17,8 +17,8 @@ double gb_per_s(u64 bytes, Cycle cycles) {
 
 } // namespace
 
-int main() {
-  header("Figure 1: interface peak bandwidths through the crossbar");
+int main(int argc, char** argv) {
+  Table table("Figure 1: interface peak bandwidths through the crossbar", argc, argv);
   constexpr u32 kBytes = 4u << 20;
 
   {
@@ -27,26 +27,26 @@ int main() {
     // writes share the channel, so the copy rate is half the channel rate).
     // Source and destination sit in different banks so row accesses overlap.
     const Cycle done = chip.dte().submit({0x200000, 0x600800, kBytes}, 0);
-    row("DRDRAM channel (DTE copy r+w)", "1.6 GB/s",
+    table.row("DRDRAM channel (DTE copy r+w)", "1.6 GB/s",
         fmt("%.2f GB/s", gb_per_s(2ull * kBytes, done)));
   }
   {
     soc::Majc5200 chip(masm::assemble_or_throw("halt\n"));
     const Cycle done = chip.pci().stream(kBytes, true, 0);
-    row("PCI (32-bit / 66 MHz)", "264 MB/s",
+    table.row("PCI (32-bit / 66 MHz)", "264 MB/s",
         fmt("%.0f MB/s", 1000.0 * gb_per_s(kBytes, done)));
   }
   {
     soc::Majc5200 chip(masm::assemble_or_throw("halt\n"));
     // UPA line rate, measured against the FIFO path (no DRAM behind it).
     const Cycle done = chip.nupa().push_fifo(std::vector<u8>(4096), 0);
-    row("North UPA line rate (FIFO fill)", "2.0 GB/s",
+    table.row("North UPA line rate (FIFO fill)", "2.0 GB/s",
         fmt("%.2f GB/s", gb_per_s(4096, done)));
   }
   {
     soc::Majc5200 chip(masm::assemble_or_throw("halt\n"));
     const Cycle done = chip.supa().stream(kBytes, false, 0);
-    row("South UPA -> memory stream", "bounded by DRDRAM",
+    table.row("South UPA -> memory stream", "bounded by DRDRAM",
         fmt("%.2f GB/s", gb_per_s(kBytes, done)));
   }
   {
@@ -62,7 +62,7 @@ int main() {
         gb_per_s(4096, c2.nupa().push_fifo(std::vector<u8>(4096), 0));
     const double supa = c2.memsys().config().upa_bytes_per_cycle * kClockHz /
                         1e9;  // line rate (memory-bound streams measured above)
-    row("aggregate I/O (sum of interfaces)", "> 4.8 GB/s",
+    table.row("aggregate I/O (sum of interfaces)", "> 4.8 GB/s",
         fmt("%.2f GB/s", dram + pci + nupa + supa));
   }
 

@@ -31,26 +31,26 @@ i64 extra(const std::string& body, const std::string& baseline) {
 
 } // namespace
 
-int main() {
-  header("Figure 2: CPU microarchitecture, measured");
+int main(int argc, char** argv) {
+  Table table("Figure 2: CPU microarchitecture, measured", argc, argv);
 
-  row("registers per CPU", "224 (96 global + 4x32 local)",
+  table.row("registers per CPU", "224 (96 global + 4x32 local)",
       fmt("%.0f", static_cast<double>(isa::kNumRegs)));
-  row("packet width", "1-4 instructions",
+  table.row("packet width", "1-4 instructions",
       fmt("%.0f slots", static_cast<double>(isa::kMaxSlots)));
 
-  row("ALU latency (same FU)", "1 cycle",
+  table.row("ALU latency (same FU)", "1 cycle",
       fmt("%.0f cycles", 1.0 + extra("add g6, g3, g4\nadd g7, g6, g5\n",
                                      "add g6, g3, g4\nadd g7, g3, g5\n")));
-  row("integer multiply", "2 cycles",
+  table.row("integer multiply", "2 cycles",
       fmt("%.0f cycles",
           1.0 + extra("nop | mul l0, g3, g4\nnop | add g7, l0, g5\n",
                       "nop | mul l0, g3, g4\nnop | add g7, g3, g5\n")));
-  row("FP32 add/mul/FMA", "4 cycles",
+  table.row("FP32 add/mul/FMA", "4 cycles",
       fmt("%.0f cycles",
           1.0 + extra("nop | fadd l0, g3, g4\nnop | fadd g7, l0, g5\n",
                       "nop | fadd l0, g3, g4\nnop | fadd g7, g3, g5\n")));
-  row("FU0 divide / rsqrt (non-pipelined)", "6 cycles",
+  table.row("FU0 divide / rsqrt (non-pipelined)", "6 cycles",
       fmt("%.0f cycles", 1.0 + extra("div g6, g3, g4\ndiv g7, g4, g3\n",
                                      "add g6, g3, g4\nadd g7, g4, g3\n")));
 
@@ -62,19 +62,19 @@ int main() {
         run_cycles(pre + "ldwi g6, g3, 0\nadd g7, g6, g6\nhalt\n", cfg);
     const Cycle ind =
         run_cycles(pre + "ldwi g6, g3, 0\nadd g7, g3, g3\nhalt\n", cfg);
-    row("load-to-use (D$ hit)", "2 cycles",
+    table.row("load-to-use (D$ hit)", "2 cycles",
         fmt("%.0f cycles", 1.0 + static_cast<double>(dep - ind)));
   }
 
-  row("bypass FU1 -> FU0", "0 extra cycles",
+  table.row("bypass FU1 -> FU0", "0 extra cycles",
       fmt("%.0f extra", static_cast<double>(
                             extra("nop | add g6, g3, g4\nadd g7, g6, g5\n",
                                   "nop | add g6, g3, g4\nadd g7, g3, g5\n"))));
-  row("bypass FU0 -> FU1/2/3", "+1 cycle",
+  table.row("bypass FU0 -> FU1/2/3", "+1 cycle",
       fmt("%.0f extra", static_cast<double>(
                             extra("add g6, g3, g4\nnop | add g7, g6, g5\n",
                                   "add g6, g3, g4\nnop | add g7, g3, g5\n"))));
-  row("cross-FU via Trap/WB (FU1->FU2)", "+2 cycles",
+  table.row("cross-FU via Trap/WB (FU1->FU2)", "+2 cycles",
       fmt("%.0f extra",
           static_cast<double>(extra(
               "nop | add g6, g3, g4\nnop | nop | add g7, g6, g5\n",
@@ -91,9 +91,9 @@ int main() {
     )";
     cpu::CycleSim sim(masm::assemble_or_throw(loop), ideal());
     sim.run();
-    row("gshare accuracy (biased loop)", "~100 %",
+    table.row("gshare accuracy (biased loop)", "~100 %",
         fmt("%.1f %%", 100.0 * sim.cpu().predictor().accuracy()));
-    row("predictor geometry", "4096 entries, 12-bit history",
+    table.row("predictor geometry", "4096 entries, 12-bit history",
         "4096 entries, 12-bit");
   }
 

@@ -11,19 +11,19 @@
 using namespace majc;
 using namespace majc::bench;
 
-int main() {
-  header("GPP geometry pipeline (paper SS5: 60-90 Mtriangles/s)");
+int main(int argc, char** argv) {
+  Table table("GPP geometry pipeline (paper SS5: 60-90 Mtriangles/s)", argc, argv);
 
   const gpp::Mesh mesh = gpp::make_test_mesh(60000, 42);
   const auto stream = gpp::compress(mesh);
-  row("compressed geometry ratio", "~6x (Sun CG)",
+  table.row("compressed geometry ratio", "~6x (Sun CG)",
       fmt("%.1fx", gpp::compression_ratio(mesh, stream)));
 
   const double lit_cpv = kernels::measure_tl_cycles_per_vertex(true);
   const double xf_cpv = kernels::measure_tl_cycles_per_vertex(false);
-  row("CPU cycles/vertex (xform+light)", "(not stated)",
+  table.row("CPU cycles/vertex (xform+light)", "(not stated)",
       fmt("%.1f cycles", lit_cpv));
-  row("CPU cycles/vertex (xform only)", "(not stated)",
+  table.row("CPU cycles/vertex (xform only)", "(not stated)",
       fmt("%.1f cycles", xf_cpv));
 
   // Fresh crossbar state per pipeline run (port clocks are cumulative).
@@ -31,11 +31,11 @@ int main() {
   gpp::Gpp g_lit(ms_lit), g_xf(ms_xf);
   const auto lit = g_lit.simulate_pipeline(stream, lit_cpv);
   const auto xf = g_xf.simulate_pipeline(stream, xf_cpv);
-  row("pipeline rate (xform+light)", "60-90 Mtri/s",
+  table.row("pipeline rate (xform+light)", "60-90 Mtri/s",
       fmt("%.1f Mtri/s", lit.mtris_per_sec()));
-  row("pipeline rate (xform only)", "60-90 Mtri/s",
+  table.row("pipeline rate (xform only)", "60-90 Mtri/s",
       fmt("%.1f Mtri/s", xf.mtris_per_sec()));
-  row("load balance (min/max CPU share)", "balanced",
+  table.row("load balance (min/max CPU share)", "balanced",
       fmt("%.2f", lit.balance()));
   std::printf("\n%llu triangles, %llu vertices; CPU busy: %llu / %llu cycles\n",
               static_cast<unsigned long long>(lit.triangles),

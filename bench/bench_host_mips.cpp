@@ -28,6 +28,7 @@
 #include "src/sim/functional_sim.h"
 #include "src/soc/chip.h"
 #include "src/support/rng.h"
+#include "src/trace/json.h"
 
 namespace {
 
@@ -158,25 +159,30 @@ Sample run_chip(const masm::Image& img) {
 
 void write_json(const std::string& path, const std::vector<Result>& results,
                 double min_secs) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
     std::fprintf(stderr, "bench_host_mips: cannot write %s\n", path.c_str());
     std::exit(2);
   }
-  std::fprintf(f, "{\n  \"min_time_s\": %g,\n  \"results\": [\n", min_secs);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const Result& r = results[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"packets_per_sec\": %.0f, "
-                 "\"mips\": %.2f, \"sim_packets\": %llu, "
-                 "\"sim_instrs\": %llu, \"reps\": %d}%s\n",
-                 r.name.c_str(), r.packets_per_sec, r.mips,
-                 static_cast<unsigned long long>(r.sim_packets),
-                 static_cast<unsigned long long>(r.sim_instrs), r.reps,
-                 i + 1 < results.size() ? "," : "");
+  // The writer emits keys in call order; "name" before "mips" is load-bearing
+  // for parse_baseline below (and for existing checked-in baselines).
+  trace::JsonWriter j(os);
+  j.begin_object();
+  j.kv("min_time_s", min_secs);
+  j.key("results").begin_array();
+  for (const Result& r : results) {
+    j.begin_object();
+    j.kv("name", r.name);
+    j.kv("packets_per_sec", r.packets_per_sec);
+    j.kv("mips", r.mips);
+    j.kv("sim_packets", r.sim_packets);
+    j.kv("sim_instrs", r.sim_instrs);
+    j.kv("reps", r.reps);
+    j.end_object();
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  j.end_array();
+  j.end_object();
+  os << "\n";
 }
 
 /// Minimal extraction of {name -> mips} from a previous run's JSON (the

@@ -28,18 +28,18 @@ double dual_cpu_rate(const kernels::PeakSpec& spec, double per_iter) {
 
 } // namespace
 
-int main() {
-  header("Headline peak rates (dual-CPU MAJC-5200 at 500 MHz)");
+int main(int argc, char** argv) {
+  Table table("Headline peak rates (dual-CPU MAJC-5200 at 500 MHz)", argc, argv);
 
   const auto fp = kernels::make_fp_peak_spec();
   const double gflops =
       dual_cpu_rate(fp, fp.flops_per_iteration) / 1e9;
-  row("single-precision FP peak", "6.16 GFLOPS", fmt("%.2f GFLOPS", gflops));
+  table.row("single-precision FP peak", "6.16 GFLOPS", fmt("%.2f GFLOPS", gflops));
 
   const auto simd = kernels::make_simd_peak_spec();
   const double gops =
       dual_cpu_rate(simd, simd.ops16_per_iteration) / 1e9;
-  row("16-bit SIMD peak", "12.32 GOPS", fmt("%.2f GOPS", gops));
+  table.row("16-bit SIMD peak", "12.32 GOPS", fmt("%.2f GOPS", gops));
 
   std::printf(
       "\n(per-CPU: 3 FMA pipes x 2 flops + FU0 rsqrt/6 = 6.17 flops/cycle;\n"

@@ -27,28 +27,28 @@ double run(const KernelSpec& spec) {
 
 } // namespace
 
-int main() {
-  header("Table 1: Video/Image Processing Benchmarks (single MAJC CPU)");
+int main(int argc, char** argv) {
+  Table table("Table 1: Video/Image Processing Benchmarks (single MAJC CPU)", argc, argv);
 
-  row("8x8 IDCT", "304 cycles", cycles_str(run(make_idct_spec())));
-  row("8x8 DCT + Quantization", "200 cycles",
+  table.row("8x8 IDCT", "304 cycles", cycles_str(run(make_idct_spec())));
+  table.row("8x8 DCT + Quantization", "200 cycles",
       cycles_str(run(make_dct_quant_spec())));
 
   const double vld_cy = run(make_vld_spec());
   const double msym = kClockHz / (vld_cy / kVldSymbols) / 1e6;
-  row("MPEG-2 VLD+IZZ+IQ", "27 MSymbols/s", fmt("%.1f MSymbols/s", msym));
+  table.row("MPEG-2 VLD+IZZ+IQ", "27 MSymbols/s", fmt("%.1f MSymbols/s", msym));
 
-  row("Motion Est. (+/-16 MV range)", "3000 cycles",
+  table.row("Motion Est. (+/-16 MV range)", "3000 cycles",
       cycles_str(run(make_motion_est_spec())));
-  row("5x5 Convolution (512x512)", "1.65 Mcycles",
+  table.row("5x5 Convolution (512x512)", "1.65 Mcycles",
       cycles_str(run(make_convolve_spec())));
-  row("512x512 Color Conversion", "0.9 Mcycles",
+  table.row("512x512 Color Conversion", "0.9 Mcycles",
       cycles_str(run(make_color_convert_spec())));
 
   // Composed pipeline (not a paper row, but the integration its VLD and
   // IDCT numbers imply): full 4:2:0 macroblock, VLD+IZZ+IQ -> IDCT x6.
   const double mb = run(make_mb_decode_spec());
-  row("  [composed] 4:2:0 macroblock decode", "(derived)",
+  table.row("  [composed] 4:2:0 macroblock decode", "(derived)",
       cycles_str(mb) + " (" + fmt("%.0f", mb / 6.0) + "/blk)");
   return 0;
 }

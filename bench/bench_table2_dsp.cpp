@@ -26,30 +26,30 @@ double run(const KernelSpec& spec) {
 
 } // namespace
 
-int main() {
-  header("Table 2: Signal Processing Benchmarks (single MAJC CPU)");
+int main(int argc, char** argv) {
+  Table table("Table 2: Signal Processing Benchmarks (single MAJC CPU)", argc, argv);
 
-  row("Cascade of eight 2nd-order biquads", "63 cycles",
+  table.row("Cascade of eight 2nd-order biquads", "63 cycles",
       cycles_str(run(make_biquad_spec())));
-  row("64-sample, 64-tap FIR", "2757 cycles", cycles_str(run(make_fir_spec())));
-  row("64-sample, 16th-order IIR", "2021 cycles",
+  table.row("64-sample, 64-tap FIR", "2757 cycles", cycles_str(run(make_fir_spec())));
+  table.row("64-sample, 16th-order IIR", "2021 cycles",
       cycles_str(run(make_iir_spec())));
-  row("64-sample, 64-tap complex FIR", "8643 cycles",
+  table.row("64-sample, 64-tap complex FIR", "8643 cycles",
       cycles_str(run(make_cfir_spec())));
-  row("Single sample, 16th-order LMS", "64 cycles",
+  table.row("Single sample, 16th-order LMS", "64 cycles",
       cycles_str(run(make_lms_spec())));
-  row("Max search, array of 40", "126 cycles",
+  table.row("Max search, array of 40", "126 cycles",
       cycles_str(run(make_max_search_spec())));
 
   const double r2 = run(make_fft_radix2_spec());
   const double r4 = run(make_fft_radix4_spec());
   // The scanned paper truncates the FFT cycle counts; it asserts radix-4 is
   // the win the register file enables. We print both and the ratio.
-  row("Radix-2 1024-pt complex FFT", "(truncated in scan)", cycles_str(r2));
-  row("Radix-4 1024-pt complex FFT", "(truncated in scan)", cycles_str(r4));
-  row("  radix-2 / radix-4 ratio", "~1.34 (26669/19889)",
+  table.row("Radix-2 1024-pt complex FFT", "(truncated in scan)", cycles_str(r2));
+  table.row("Radix-4 1024-pt complex FFT", "(truncated in scan)", cycles_str(r4));
+  table.row("  radix-2 / radix-4 ratio", "~1.34 (26669/19889)",
       fmt("%.2f", r2 / r4));
 
-  row("Bit reversal, 1024-pt", "2484 cycles", cycles_str(run(make_bitrev_spec())));
+  table.row("Bit reversal, 1024-pt", "2484 cycles", cycles_str(run(make_bitrev_spec())));
   return 0;
 }

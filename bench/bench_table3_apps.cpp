@@ -7,8 +7,8 @@
 using namespace majc;
 using namespace majc::bench;
 
-int main() {
-  header("Table 3: Application Performance (single MAJC-5200 CPU)");
+int main(int argc, char** argv) {
+  Table table("Table 3: Application Performance (single MAJC-5200 CPU)", argc, argv);
   for (const auto& r : apps::run_all_apps()) {
     std::string measured;
     if (r.throughput_mb_s > 0) {
@@ -17,7 +17,7 @@ int main() {
       measured = fmt("%.1f %%", 100.0 * r.utilization) + " (" +
                  fmt("%.1f %%", 100.0 * r.utilization_no_mem) + " no-mem)";
     }
-    row(r.name, r.paper_claim, measured);
+    table.row(r.name, r.paper_claim, measured);
     std::printf("    model: %s\n", r.detail.c_str());
   }
   return 0;

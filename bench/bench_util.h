@@ -1,26 +1,18 @@
-// Shared table formatting for the benchmark harnesses: every bench prints
-// the paper's row next to the measured value so EXPERIMENTS.md can quote
-// the output verbatim.
+// Shared table output for the benchmark harnesses: every bench prints the
+// paper's row next to the measured value so EXPERIMENTS.md can quote the
+// output verbatim, and every bench accepts --json=FILE to dump the same
+// rows machine-readably (schema "majc-bench-v1") for CI and plotting.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
+
+#include "src/trace/json.h"
 
 namespace majc::bench {
-
-inline void header(const std::string& title) {
-  std::printf("\n================================================================\n");
-  std::printf("%s\n", title.c_str());
-  std::printf("================================================================\n");
-  std::printf("%-38s %18s %18s\n", "benchmark", "paper", "measured");
-  std::printf("----------------------------------------------------------------\n");
-}
-
-inline void row(const std::string& name, const std::string& paper,
-                const std::string& measured) {
-  std::printf("%-38s %18s %18s\n", name.c_str(), paper.c_str(),
-              measured.c_str());
-}
 
 inline std::string cycles_str(double c) {
   char buf[64];
@@ -37,5 +29,100 @@ inline std::string fmt(const char* f, double v) {
   std::snprintf(buf, sizeof buf, f, v);
   return buf;
 }
+
+/// One bench's result table. Rows print to stdout immediately (unchanged
+/// output format); finish() additionally writes every row as JSON when the
+/// program was invoked with --json=FILE.
+class Table {
+public:
+  Table(std::string title, int argc = 0, char** argv = nullptr)
+      : title_(std::move(title)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--json=", 7) == 0) json_path_ = argv[i] + 7;
+    }
+    std::printf(
+        "\n================================================================\n");
+    std::printf("%s\n", title_.c_str());
+    std::printf(
+        "================================================================\n");
+    std::printf("%-38s %18s %18s\n", "benchmark", "paper", "measured");
+    std::printf(
+        "----------------------------------------------------------------\n");
+  }
+
+  ~Table() { finish(); }
+
+  void row(const std::string& name, const std::string& paper,
+           const std::string& measured) {
+    std::printf("%-38s %18s %18s\n", name.c_str(), paper.c_str(),
+                measured.c_str());
+    rows_.push_back({name, paper, measured, 0.0, "", false});
+  }
+
+  /// Row with an explicit numeric value + unit for the JSON dump (the
+  /// printed `measured` string stays free-form).
+  void row(const std::string& name, const std::string& paper,
+           const std::string& measured, double value,
+           const std::string& unit) {
+    std::printf("%-38s %18s %18s\n", name.c_str(), paper.c_str(),
+                measured.c_str());
+    rows_.push_back({name, paper, measured, value, unit, true});
+  }
+
+  /// Free-form annotation: printed, and carried into the JSON dump.
+  void note(const std::string& text) {
+    std::printf("%s\n", text.c_str());
+    notes_.push_back(text);
+  }
+
+  /// Write the JSON dump if --json=FILE was given. Idempotent (the
+  /// destructor calls it too).
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (json_path_.empty()) return;
+    std::ofstream os(json_path_, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "bench: cannot write %s\n", json_path_.c_str());
+      return;
+    }
+    trace::JsonWriter j(os);
+    j.begin_object();
+    j.kv("schema", "majc-bench-v1");
+    j.kv("title", title_);
+    j.key("rows").begin_array();
+    for (const Row& r : rows_) {
+      j.begin_object();
+      j.kv("name", r.name);
+      j.kv("paper", r.paper);
+      j.kv("measured", r.measured);
+      if (r.has_value) {
+        j.kv("value", r.value);
+        j.kv("unit", r.unit);
+      }
+      j.end_object();
+    }
+    j.end_array();
+    j.key("notes").begin_array();
+    for (const std::string& n : notes_) j.value(n);
+    j.end_array();
+    j.end_object();
+    os << "\n";
+  }
+
+private:
+  struct Row {
+    std::string name, paper, measured;
+    double value;
+    std::string unit;
+    bool has_value;
+  };
+
+  std::string title_;
+  std::string json_path_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+  bool finished_ = false;
+};
 
 } // namespace majc::bench

@@ -8,10 +8,22 @@
 //   $ ./majc_run -2 prog.s           # run on both CPUs of the chip model
 //   $ ./majc_run -c prog.s           # static schedule check only
 //   $ ./majc_run -t prog.s           # cycle run with a pipeline trace
+//
+// Observability (cycle and chip modes):
+//   --trace-out=FILE   write a Chrome trace-event JSON timeline (load the
+//                      file in https://ui.perfetto.dev or chrome://tracing;
+//                      "-" = stdout)
+//   --profile[=N]      print the cycle-attribution profile (top N packets,
+//                      default 10) after the run
+//   --stats-json=FILE  write machine-readable run statistics ("-" = stdout)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "src/cpu/cycle_cpu.h"
 #include "src/cpu/report.h"
@@ -20,36 +32,106 @@
 #include "src/masm/assembler.h"
 #include "src/sim/functional_sim.h"
 #include "src/soc/chip.h"
+#include "src/trace/chrome_trace.h"
+#include "src/trace/profiler.h"
+#include "src/trace/stats_json.h"
 
 using namespace majc;
 
-int main(int argc, char** argv) {
-  bool functional = false, disasm_only = false, dual = false, schedcheck = false,
-       trace = false;
+namespace {
+
+struct Options {
+  bool functional = false;
+  bool disasm_only = false;
+  bool dual = false;
+  bool schedcheck = false;
+  bool trace_print = false;
+  const char* trace_out = nullptr;
+  const char* stats_json = nullptr;
+  bool profile = false;
+  u32 profile_top = 10;
   const char* path = nullptr;
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "-f") == 0) {
-      functional = true;
-    } else if (std::strcmp(argv[i], "-d") == 0) {
-      disasm_only = true;
-    } else if (std::strcmp(argv[i], "-2") == 0) {
-      dual = true;
-    } else if (std::strcmp(argv[i], "-c") == 0) {
-      schedcheck = true;
-    } else if (std::strcmp(argv[i], "-t") == 0) {
-      trace = true;
+    const char* a = argv[i];
+    if (std::strcmp(a, "-f") == 0) {
+      opt.functional = true;
+    } else if (std::strcmp(a, "-d") == 0) {
+      opt.disasm_only = true;
+    } else if (std::strcmp(a, "-2") == 0) {
+      opt.dual = true;
+    } else if (std::strcmp(a, "-c") == 0) {
+      opt.schedcheck = true;
+    } else if (std::strcmp(a, "-t") == 0) {
+      opt.trace_print = true;
+    } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
+      opt.trace_out = a + 12;
+    } else if (std::strncmp(a, "--stats-json=", 13) == 0) {
+      opt.stats_json = a + 13;
+    } else if (std::strcmp(a, "--profile") == 0) {
+      opt.profile = true;
+    } else if (std::strncmp(a, "--profile=", 10) == 0) {
+      opt.profile = true;
+      opt.profile_top = static_cast<u32>(std::atoi(a + 10));
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", a);
+      return false;
     } else {
-      path = argv[i];
+      opt.path = a;
     }
   }
-  if (path == nullptr) {
-    std::fprintf(stderr, "usage: majc_run [-f|-d|-2] <prog.s>\n");
+  return opt.path != nullptr;
+}
+
+/// Write `emit(os)` to `path` ("-" = stdout). Returns false on I/O failure.
+template <typename Fn>
+bool write_file_or_stdout(const char* path, Fn emit) {
+  if (std::strcmp(path, "-") == 0) {
+    std::ostringstream ss;
+    emit(ss);
+    std::fputs(ss.str().c_str(), stdout);
+    return true;
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  emit(os);
+  return os.good();
+}
+
+void print_legacy_trace(const cpu::TraceEvent& ev) {
+  if (ev.context_switch) {
+    std::printf("%8llu  thread %u switched out at pc 0x%llx\n",
+                static_cast<unsigned long long>(ev.cycle), ev.thread,
+                static_cast<unsigned long long>(ev.pc));
+    return;
+  }
+  std::printf("%8llu  t%u pc 0x%05llx w%u%s%s%s\n",
+              static_cast<unsigned long long>(ev.cycle), ev.thread,
+              static_cast<unsigned long long>(ev.pc), ev.width,
+              ev.stall_operand ? " [operand]" : "",
+              ev.stall_ifetch ? " [ifetch]" : "",
+              ev.mispredicted ? " [mispredict]" : "");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    std::fprintf(stderr,
+                 "usage: majc_run [-f|-d|-2|-c|-t] [--trace-out=FILE] "
+                 "[--profile[=N]] [--stats-json=FILE] <prog.s>\n");
     return 2;
   }
 
-  std::ifstream in(path);
+  std::ifstream in(opt.path);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path);
+    std::fprintf(stderr, "cannot open %s\n", opt.path);
     return 2;
   }
   std::stringstream ss;
@@ -58,20 +140,20 @@ int main(int argc, char** argv) {
   std::vector<masm::Diagnostic> diags;
   auto image = masm::assemble(ss.str(), diags);
   for (const auto& d : diags) {
-    std::fprintf(stderr, "%s:%u: %s\n", path, d.line, d.message.c_str());
+    std::fprintf(stderr, "%s:%u: %s\n", opt.path, d.line, d.message.c_str());
   }
   if (!image) return 1;
 
-  if (schedcheck) {
+  if (opt.schedcheck) {
     const auto rep = cpu::check_schedule(*image);
     std::fputs(rep.to_string().c_str(), stdout);
     return rep.clean() ? 0 : 1;
   }
-  if (disasm_only) {
+  if (opt.disasm_only) {
     std::fputs(isa::disasm_code(image->code).c_str(), stdout);
     return 0;
   }
-  if (functional) {
+  if (opt.functional) {
     sim::FunctionalSim sim(*image);
     const auto res = sim.run();
     std::fputs(sim.console().c_str(), stdout);
@@ -83,11 +165,67 @@ int main(int argc, char** argv) {
       std::fputs(trap_report(res.trap, sim.program(), sim.state()).c_str(),
                  stderr);
     }
+    if (opt.stats_json != nullptr) {
+      write_file_or_stdout(opt.stats_json, [&](std::ostream& os) {
+        trace::write_stats_json(os, sim, res);
+      });
+    }
     return res.reason == TerminationReason::kHalted ? 0 : 1;
   }
-  if (dual) {
+
+  // The timed modes share the observer plumbing: an optional Chrome trace
+  // stream, an optional profiler, and the legacy -t console print compose
+  // onto the same per-packet event stream.
+  std::ofstream trace_file;
+  std::unique_ptr<trace::ChromeTraceWriter> writer;
+  if (opt.trace_out != nullptr) {
+    const bool to_stdout = std::strcmp(opt.trace_out, "-") == 0;
+    if (!to_stdout) {
+      trace_file.open(opt.trace_out, std::ios::binary);
+      if (!trace_file) {
+        std::fprintf(stderr, "cannot write %s\n", opt.trace_out);
+        return 2;
+      }
+    }
+    writer = std::make_unique<trace::ChromeTraceWriter>(to_stdout ? std::cout
+                                                                  : trace_file);
+  }
+
+  if (opt.dual) {
     soc::Majc5200 chip(*image);
+    std::vector<std::unique_ptr<trace::CpuTraceRecorder>> recorders;
+    std::vector<std::unique_ptr<trace::LsuTraceRecorder>> lsu_recorders;
+    std::unique_ptr<trace::DteTraceRecorder> dte_recorder;
+    std::vector<std::unique_ptr<trace::CycleProfiler>> profilers;
+    for (u32 c = 0; c < soc::Majc5200::kNumCpus; ++c) {
+      if (opt.profile) {
+        profilers.push_back(
+            std::make_unique<trace::CycleProfiler>(chip.program()));
+      }
+      if (writer) {
+        recorders.push_back(std::make_unique<trace::CpuTraceRecorder>(
+            *writer, chip.program(), chip.memsys().config(), c));
+        lsu_recorders.push_back(
+            std::make_unique<trace::LsuTraceRecorder>(*writer, c));
+        lsu_recorders.back()->attach(chip.memsys().lsu(c));
+      }
+      if (writer || opt.profile || opt.trace_print) {
+        trace::CpuTraceRecorder* rec = writer ? recorders.back().get() : nullptr;
+        trace::CycleProfiler* prof = opt.profile ? profilers.back().get() : nullptr;
+        const bool echo = opt.trace_print;
+        chip.cpu(c).set_trace([rec, prof, echo](const cpu::TraceEvent& ev) {
+          if (rec != nullptr) rec->on_event(ev);
+          if (prof != nullptr) prof->on_event(ev);
+          if (echo) print_legacy_trace(ev);
+        });
+      }
+    }
+    if (writer) {
+      dte_recorder = std::make_unique<trace::DteTraceRecorder>(*writer);
+      dte_recorder->attach(chip.dte());
+    }
     const auto res = chip.run();
+    if (writer) writer->finish();
     for (u32 c = 0; c < 2; ++c) {
       std::fputs(chip.cpu(c).console().c_str(), stdout);
     }
@@ -98,26 +236,47 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(res.packets[1]),
         termination_reason_name(res.reason));
     if (!res.dump.empty()) std::fputs(res.dump.c_str(), stderr);
+    for (u32 c = 0; c < profilers.size(); ++c) {
+      std::printf("\n[cpu%u]\n", c);
+      std::fputs(profilers[c]
+                     ->report(opt.profile_top, res.cycles,
+                              chip.memsys().config().mt_switch_penalty)
+                     .c_str(),
+                 stdout);
+    }
+    if (opt.stats_json != nullptr) {
+      write_file_or_stdout(opt.stats_json, [&](std::ostream& os) {
+        trace::write_stats_json(os, chip, res);
+      });
+    }
     return res.reason == TerminationReason::kHalted ? 0 : 1;
   }
+
   cpu::CycleSim sim(*image);
-  if (trace) {
-    sim.cpu().set_trace([&](const cpu::TraceEvent& ev) {
-      if (ev.context_switch) {
-        std::printf("%8llu  thread %u switched out at pc 0x%llx\n",
-                    static_cast<unsigned long long>(ev.cycle), ev.thread,
-                    static_cast<unsigned long long>(ev.pc));
-        return;
-      }
-      std::printf("%8llu  t%u pc 0x%05llx w%u%s%s%s\n",
-                  static_cast<unsigned long long>(ev.cycle), ev.thread,
-                  static_cast<unsigned long long>(ev.pc), ev.width,
-                  ev.stall_operand ? " [operand]" : "",
-                  ev.stall_ifetch ? " [ifetch]" : "",
-                  ev.mispredicted ? " [mispredict]" : "");
+  std::unique_ptr<trace::CpuTraceRecorder> recorder;
+  std::unique_ptr<trace::LsuTraceRecorder> lsu_recorder;
+  std::unique_ptr<trace::CycleProfiler> profiler;
+  if (writer) {
+    recorder = std::make_unique<trace::CpuTraceRecorder>(
+        *writer, sim.program(), sim.memsys().config(), 0);
+    lsu_recorder = std::make_unique<trace::LsuTraceRecorder>(*writer, 0);
+    lsu_recorder->attach(sim.memsys().lsu(0));
+  }
+  if (opt.profile) {
+    profiler = std::make_unique<trace::CycleProfiler>(sim.program());
+  }
+  if (writer || profiler || opt.trace_print) {
+    trace::CpuTraceRecorder* rec = recorder.get();
+    trace::CycleProfiler* prof = profiler.get();
+    const bool echo = opt.trace_print;
+    sim.cpu().set_trace([rec, prof, echo](const cpu::TraceEvent& ev) {
+      if (rec != nullptr) rec->on_event(ev);
+      if (prof != nullptr) prof->on_event(ev);
+      if (echo) print_legacy_trace(ev);
     });
   }
   const auto res = sim.run();
+  if (writer) writer->finish();
   std::fputs(sim.console().c_str(), stdout);
   std::printf("[cycle] %llu cycles, %llu instructions, IPC %.2f, %s\n",
               static_cast<unsigned long long>(res.cycles),
@@ -130,5 +289,18 @@ int main(int argc, char** argv) {
                stderr);
   }
   std::fputs(cpu::performance_report(sim).c_str(), stdout);
+  if (profiler) {
+    std::fputs(
+        profiler
+            ->report(opt.profile_top, res.cycles,
+                     sim.memsys().config().mt_switch_penalty)
+            .c_str(),
+        stdout);
+  }
+  if (opt.stats_json != nullptr) {
+    write_file_or_stdout(opt.stats_json, [&](std::ostream& os) {
+      trace::write_stats_json(os, sim, res);
+    });
+  }
   return res.reason == TerminationReason::kHalted ? 0 : 1;
 }

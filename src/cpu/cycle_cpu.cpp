@@ -166,6 +166,16 @@ void CycleCpu::step_impl() {
   if (est.fu > 0) stats_.stalls.add(StallCause::kFuBusy, est.fu);
   env_.thread_id = active_;
 
+  // Bypass-path attribution for the trace observer. Must run before this
+  // packet's own writebacks reach the scoreboard, and only does under an
+  // installed observer (the untraced hot path skips it entirely).
+  std::array<u8, kNumBypassPaths> bypass_reads{};
+  if (trace_) {
+    for (const auto& s : m.srcs) {
+      ++bypass_reads[static_cast<u32>(th->sb.classify(s.reg, s.fu, t, cfg_))];
+    }
+  }
+
   // Execute architecturally at cycle t.
   current_cycle_ = t;
   const std::size_t console_before = console_.size();
@@ -182,8 +192,10 @@ void CycleCpu::step_impl() {
   // (4) LSU acceptance and load-data timing.
   Cycle lsu_stall = 0;
   Cycle load_ready = 0;
+  Cycle lsu_issue_at = 0;
   if (out.mem.kind != sim::MemAccess::Kind::kNone) {
     const mem::Lsu::IssueResult r = ms_.lsu(cpu_id_).issue(out.mem, t);
+    lsu_issue_at = r.issue_at;
     if (r.issue_at > t) {
       lsu_stall = r.issue_at - t;
       stats_.stalls.add(StallCause::kLsu, lsu_stall);
@@ -255,6 +267,11 @@ void CycleCpu::step_impl() {
     ev.stall_operand = static_cast<u32>(est.operand);
     ev.stall_fu = static_cast<u32>(est.fu);
     ev.stall_lsu = static_cast<u32>(lsu_stall);
+    ev.stall_branch = static_cast<u32>(next - (t + 1));
+    ev.lsu_issue = lsu_issue_at;
+    ev.lsu_ready = load_ready;
+    ev.mem_kind = static_cast<u8>(out.mem.kind);
+    ev.bypass = bypass_reads;
     ev.branch_taken = out.is_cond_branch && out.branch_taken;
     ev.mispredicted = next > t + 1 && out.is_cond_branch;
     trace_(ev);

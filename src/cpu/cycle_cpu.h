@@ -35,6 +35,8 @@
 namespace majc::cpu {
 
 /// One issued packet (or context switch) as seen by a trace observer.
+/// Fields beyond the stall breakdown are filled only while a trace observer
+/// is installed; the untraced hot path never touches them.
 struct TraceEvent {
   Cycle cycle = 0;     // issue cycle (or switch decision cycle)
   Addr pc = 0;
@@ -44,6 +46,14 @@ struct TraceEvent {
   u32 stall_operand = 0;
   u32 stall_fu = 0;
   u32 stall_lsu = 0;   // LSU acceptance stall absorbed before issue
+  u32 stall_branch = 0;  // refill penalty charged behind this packet's
+                         // mispredicted branch or indirect jump
+  Cycle lsu_issue = 0;   // mem op: cycle the LSU accepted it (0 = none)
+  Cycle lsu_ready = 0;   // loads/atomics: cycle the data can be consumed
+  u8 mem_kind = 0;       // sim::MemAccess::Kind of the packet's memory op
+  // Operand reads of this packet by delivery path (BypassPath order): the
+  // per-packet view of the asymmetric bypass network.
+  std::array<u8, kNumBypassPaths> bypass{};
   bool branch_taken = false;
   bool mispredicted = false;
   bool context_switch = false;

@@ -26,6 +26,26 @@ namespace majc::cpu {
 inline constexpr u8 kLsuProducer = 4;
 inline constexpr u8 kNoProducer = 5;
 
+/// How an operand read is delivered — the observability layer's view of the
+/// paper's asymmetric bypass network. kRegfile covers reads of values that
+/// settled through Trap/WB before the consuming packet issued; the other
+/// paths are live forwards of results still in flight.
+enum class BypassPath : u8 {
+  kRegfile,    // value already architecturally settled
+  kSameFu,     // full bypass within the producing FU
+  kLsu,        // load data straight from the LSU
+  kFu1ToFu0,   // the zero-delay FU1 -> FU0 forward
+  kFu0Forward, // FU0 -> FU1/2/3, next cycle
+  kWriteback,  // cross-FU through the Trap/WB stage
+};
+inline constexpr u32 kNumBypassPaths = 6;
+
+inline const char* bypass_path_name(BypassPath p) {
+  static constexpr const char* kNames[kNumBypassPaths] = {
+      "regfile", "same_fu", "lsu", "fu1_to_fu0", "fu0_forward", "writeback"};
+  return kNames[static_cast<u32>(p)];
+}
+
 /// Extra forwarding delay from `producer` to `consumer` on top of the
 /// producer's completion cycle. Inline: this sits inside the operand loop
 /// of the cycle model's inner loop.
@@ -58,6 +78,26 @@ public:
     const Entry& e = entries_[reg];
     if (e.producer == kNoProducer) return 0;
     return e.done + bypass_delay(e.producer, consumer_fu, cfg);
+  }
+
+  /// Classify how a read of `reg` by slot `consumer_fu` issuing at `at`
+  /// would be delivered. Trace-time only (never on the untraced hot path):
+  /// a result that left the bypass window (done + wb_delay <= at) reads from
+  /// the register file; everything newer names its forwarding path, with
+  /// the bypass-matrix delay deciding between the asymmetric cross-FU
+  /// routes (so the !full_bypass ablation classifies as writeback).
+  BypassPath classify(isa::PhysReg reg, u8 consumer_fu, Cycle at,
+                      const TimingConfig& cfg) const {
+    if (reg == 0) return BypassPath::kRegfile;
+    const Entry& e = entries_[reg];
+    if (e.producer == kNoProducer) return BypassPath::kRegfile;
+    if (e.done + cfg.wb_delay <= at) return BypassPath::kRegfile;
+    if (e.producer == kLsuProducer) return BypassPath::kLsu;
+    if (e.producer == consumer_fu) return BypassPath::kSameFu;
+    const u32 d = bypass_delay(e.producer, consumer_fu, cfg);
+    if (d == 0) return BypassPath::kFu1ToFu0;
+    if (d == 1) return BypassPath::kFu0Forward;
+    return BypassPath::kWriteback;
   }
 
   void clear() { entries_.fill({}); }

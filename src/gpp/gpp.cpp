@@ -61,6 +61,7 @@ PipelineResult Gpp::run_distribution(std::vector<Batch>& batches,
     const auto work = static_cast<Cycle>(
         std::ceil(cpu_cycles_per_vertex * b.vertex_count));
     cpu_free[b.cpu] = start + work;
+    if (observer_) observer_(b, start, cpu_free[b.cpu]);
     res.cpu_busy[b.cpu] += work;
     res.cpu_triangles[b.cpu] += b.triangle_count;
     res.triangles += b.triangle_count;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 
 #include "src/gpp/geometry.h"
 #include "src/mem/memsys.h"
@@ -84,6 +85,13 @@ public:
 
   const GppConfig& config() const { return cfg_; }
 
+  /// Install a per-batch observer (CPU work start/completion cycles) for
+  /// the trace layer; empty function disables. Fires in distribution order.
+  void set_observer(
+      std::function<void(const Batch&, Cycle start, Cycle done)> fn) {
+    observer_ = std::move(fn);
+  }
+
 private:
   /// Shared back half: hand batches to the less-loaded CPU over the
   /// crossbar and account the transform work.
@@ -92,6 +100,7 @@ private:
 
   mem::MemorySystem& ms_;
   GppConfig cfg_;
+  std::function<void(const Batch&, Cycle, Cycle)> observer_;
 };
 
 } // namespace majc::gpp

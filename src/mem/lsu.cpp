@@ -95,6 +95,11 @@ Cycle Lsu::cached_access(Addr addr, u32 bytes, bool is_store, bool allocate,
   // Entries that retire by `start` free their slots for this miss.
   std::erase_if(mshr_, [start](const auto& kv) { return kv.second <= start; });
   const Cycle done = fill_line(line, start);
+  if (observer_) {
+    observer_({is_store ? LsuTraceEvent::Kind::kStoreMiss
+                        : LsuTraceEvent::Kind::kLoadMiss,
+               line, start, done});
+  }
   if (allocate && mshr_.size() < cfg_.mshrs) mshr_.emplace(line, done);
   if (res.writeback) {
     // Victim write-back: consumes channel bandwidth but nobody waits on it.
@@ -260,6 +265,9 @@ Lsu::IssueResult Lsu::issue(const MemAccess& acc, Cycle now) {
         bump(LsuCounter::kPrefetchesQueued);
       }
       const Cycle done = fill_line(line, start);
+      if (observer_) {
+        observer_({LsuTraceEvent::Kind::kPrefetch, line, start, done});
+      }
       mshr_.emplace(line, done);
       dcache_.access(acc.addr, /*is_store=*/false, /*allocate=*/true);
       bump(LsuCounter::kPrefetches);

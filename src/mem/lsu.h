@@ -13,6 +13,7 @@
 // 4-MSHR limit meaningful for streaming kernels.
 #pragma once
 
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -51,6 +52,17 @@ enum class LsuCounter : u8 {
 };
 inline constexpr u32 kNumLsuCounters = 19;
 
+/// One long-latency LSU occurrence, reported to an installed observer so
+/// the trace layer can draw async miss/prefetch slices. Emitted only on the
+/// (already expensive) miss paths, and only when an observer is installed.
+struct LsuTraceEvent {
+  enum class Kind : u8 { kLoadMiss, kStoreMiss, kPrefetch };
+  Kind kind = Kind::kLoadMiss;
+  Addr line = 0;     // line address being filled
+  Cycle start = 0;   // fill launch (after any MSHR queuing)
+  Cycle done = 0;    // line arrival
+};
+
 class Lsu {
 public:
   struct IssueResult {
@@ -77,6 +89,11 @@ public:
   CounterSet counters() const;
   u64 counter(LsuCounter c) const { return counters_[static_cast<u32>(c)]; }
   void reset_stats() { counters_.fill(0); }
+
+  /// Install a miss/prefetch observer (empty function disables).
+  void set_observer(std::function<void(const LsuTraceEvent&)> fn) {
+    observer_ = std::move(fn);
+  }
 
 private:
   struct StoreEntry {
@@ -116,6 +133,7 @@ private:
   std::array<WcEntry, 4> wc_{};
   Cycle wc_done_ = 0;
   std::array<u64, kNumLsuCounters> counters_{};
+  std::function<void(const LsuTraceEvent&)> observer_;
 
   void bump(LsuCounter c, u64 delta = 1) {
     counters_[static_cast<u32>(c)] += delta;

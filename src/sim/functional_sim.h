@@ -35,6 +35,12 @@ public:
   /// Dense index of the packet at `pc`; raises a kIllegalPacket trap when
   /// `pc` is not a packet boundary (same contract as packet_at).
   u32 index_of(Addr pc) const;
+  /// Non-trapping lookup for observers: kNoPacketIndex when `pc` is not a
+  /// packet boundary.
+  u32 find_index(Addr pc) const {
+    auto it = index_.find(pc);
+    return it == index_.end() ? kNoPacketIndex : it->second;
+  }
   const isa::Packet& packet(u32 index) const { return packets_[index]; }
   const PacketMeta& meta(u32 index) const { return meta_[index]; }
   std::size_t num_packets() const { return packets_.size(); }

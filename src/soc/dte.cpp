@@ -45,6 +45,7 @@ Cycle Dte::submit(const Descriptor& d, Cycle now) {
   }
   bytes_moved_ += d.bytes;
   ++descriptors_;
+  if (observer_) observer_(d, now, done);
   return done;
 }
 

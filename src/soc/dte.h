@@ -8,6 +8,7 @@
 // bandwidth from CPU misses in the benches.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "src/mem/memsys.h"
@@ -41,6 +42,13 @@ public:
   u64 bytes_moved() const { return bytes_moved_; }
   u64 descriptors_run() const { return descriptors_; }
 
+  /// Install a per-descriptor observer (start/completion cycles) for the
+  /// trace layer; empty function disables. Called once per submit().
+  void set_observer(
+      std::function<void(const Descriptor&, Cycle start, Cycle done)> fn) {
+    observer_ = std::move(fn);
+  }
+
 private:
   void flush_range(Addr base, u32 bytes, bool writeback);
 
@@ -48,6 +56,7 @@ private:
   sim::MemoryBus& mem_;
   u64 bytes_moved_ = 0;
   u64 descriptors_ = 0;
+  std::function<void(const Descriptor&, Cycle, Cycle)> observer_;
 };
 
 } // namespace majc::soc

@@ -1,0 +1,276 @@
+#include "src/trace/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/isa/disasm.h"
+#include "src/trace/json.h"
+
+namespace majc::trace {
+
+namespace {
+
+/// Render one event object on a single line. Keys are emitted in a fixed
+/// order so output is byte-stable and line-greppable in tests.
+void event_prefix(std::ostream& os, std::string_view ph, u32 pid, u32 tid,
+                  Cycle ts) {
+  os << "{\"ph\":\"" << ph << "\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"ts\":" << ts;
+}
+
+const char* mem_kind_name(u8 kind) {
+  switch (static_cast<sim::MemAccess::Kind>(kind)) {
+    case sim::MemAccess::Kind::kLoad: return "load";
+    case sim::MemAccess::Kind::kStore: return "store";
+    case sim::MemAccess::Kind::kAtomic: return "atomic";
+    case sim::MemAccess::Kind::kPrefetch: return "prefetch";
+    case sim::MemAccess::Kind::kMembar: return "membar";
+    case sim::MemAccess::Kind::kNone: break;
+  }
+  return "none";
+}
+
+} // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os) : os_(os) {
+  os_ << "{\"traceEvents\":[\n";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { finish(); }
+
+void ChromeTraceWriter::begin_event() {
+  if (!first_) os_ << ",\n";
+  first_ = false;
+  ++events_;
+}
+
+void ChromeTraceWriter::process_name(u32 pid, std::string_view name) {
+  begin_event();
+  os_ << "{\"ph\":\"M\",\"pid\":" << pid
+      << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+      << json_escape(name) << "\"}}";
+}
+
+void ChromeTraceWriter::thread_name(u32 pid, u32 tid, std::string_view name) {
+  begin_event();
+  os_ << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+      << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << json_escape(name)
+      << "\"}}";
+}
+
+void ChromeTraceWriter::complete(u32 pid, u32 tid, std::string_view cat,
+                                 std::string_view name, Cycle ts, Cycle dur,
+                                 std::string_view args_json) {
+  begin_event();
+  event_prefix(os_, "X", pid, tid, ts);
+  os_ << ",\"dur\":" << dur << ",\"cat\":\"" << json_escape(cat)
+      << "\",\"name\":\"" << json_escape(name) << "\"";
+  if (!args_json.empty()) os_ << ",\"args\":" << args_json;
+  os_ << "}";
+}
+
+void ChromeTraceWriter::instant(u32 pid, u32 tid, std::string_view cat,
+                                std::string_view name, Cycle ts) {
+  begin_event();
+  event_prefix(os_, "i", pid, tid, ts);
+  os_ << ",\"s\":\"t\",\"cat\":\"" << json_escape(cat) << "\",\"name\":\""
+      << json_escape(name) << "\"}";
+}
+
+void ChromeTraceWriter::async_begin(u32 pid, std::string_view cat,
+                                    std::string_view name, u64 id, Cycle ts) {
+  begin_event();
+  os_ << "{\"ph\":\"b\",\"pid\":" << pid << ",\"tid\":0,\"ts\":" << ts
+      << ",\"id\":" << id << ",\"cat\":\"" << json_escape(cat)
+      << "\",\"name\":\"" << json_escape(name) << "\"}";
+}
+
+void ChromeTraceWriter::async_end(u32 pid, std::string_view cat,
+                                  std::string_view name, u64 id, Cycle ts) {
+  begin_event();
+  os_ << "{\"ph\":\"e\",\"pid\":" << pid << ",\"tid\":0,\"ts\":" << ts
+      << ",\"id\":" << id << ",\"cat\":\"" << json_escape(cat)
+      << "\",\"name\":\"" << json_escape(name) << "\"}";
+}
+
+void ChromeTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  os_ << "\n]}\n";
+  os_.flush();
+}
+
+CpuTraceRecorder::CpuTraceRecorder(ChromeTraceWriter& w,
+                                   const sim::Program& prog,
+                                   const TimingConfig& cfg, u32 cpu_id)
+    : w_(w), prog_(prog), cfg_(cfg), pid_(cpu_id),
+      labels_(prog.num_packets()) {
+  w_.process_name(pid_, "cpu" + std::to_string(cpu_id));
+  w_.thread_name(pid_, kIssueTid, "issue");
+  for (u32 fu = 0; fu < isa::kNumFus; ++fu) {
+    w_.thread_name(pid_, kFuTidBase + fu, "fu" + std::to_string(fu));
+  }
+  w_.thread_name(pid_, kStallTid, "stalls");
+  w_.thread_name(pid_, kLsuTid, "lsu");
+}
+
+void CpuTraceRecorder::attach(cpu::CycleCpu& cpu) {
+  cpu.set_trace([this](const cpu::TraceEvent& ev) { on_event(ev); });
+}
+
+const CpuTraceRecorder::Labels& CpuTraceRecorder::labels(Addr pc, u32 index) {
+  static const Labels kUnknown{true, "<unknown>", {}};
+  if (index == sim::kNoPacketIndex) return kUnknown;
+  Labels& l = labels_[index];
+  if (!l.filled) {
+    l.filled = true;
+    const isa::Packet& p = prog_.packet(index);
+    l.packet = isa::disasm_packet(p);
+    for (u32 i = 0; i < p.width && i < isa::kMaxSlots; ++i) {
+      l.slot[i] = isa::disasm_instr(p.slot[i]);
+    }
+  }
+  return l;
+}
+
+void CpuTraceRecorder::on_event(const cpu::TraceEvent& ev) {
+  if (ev.context_switch) {
+    w_.instant(pid_, kIssueTid, "thread",
+               "switch->t" + std::to_string(ev.thread), ev.cycle);
+    return;
+  }
+  const u32 index = prog_.find_index(ev.pc);
+  const Labels& l = labels(ev.pc, index);
+  const sim::PacketMeta* m =
+      index == sim::kNoPacketIndex ? nullptr : &prog_.meta(index);
+
+  // Issue track: one 1-cycle slice per issued packet, args carry pc/thread
+  // and the memory-op kind when present.
+  {
+    std::string args = "{\"pc\":" + std::to_string(ev.pc) +
+                       ",\"thread\":" + std::to_string(ev.thread) +
+                       ",\"width\":" + std::to_string(ev.width);
+    if (ev.mem_kind != 0) {
+      args += ",\"mem\":\"";
+      args += mem_kind_name(ev.mem_kind);
+      args += "\"";
+    }
+    args += "}";
+    w_.complete(pid_, kIssueTid, "packet", l.packet, ev.cycle, 1, args);
+  }
+
+  // Per-FU pipe occupancy: each populated slot occupies its pipe for its
+  // producer latency (loads: until the LSU delivers the data).
+  for (u32 fu = 0; fu < ev.width && fu < isa::kMaxSlots; ++fu) {
+    Cycle dur = 1;
+    if (m != nullptr) {
+      const auto& sm = m->slot[fu];
+      if (sm.load_data && ev.lsu_ready > ev.cycle) {
+        dur = ev.lsu_ready - ev.cycle;
+      } else {
+        dur = std::max<Cycle>(1, sm.latency);
+      }
+    }
+    w_.complete(pid_, kFuTidBase + fu, "fu",
+                l.slot[fu].empty() ? l.packet : l.slot[fu], ev.cycle, dur);
+  }
+
+  // Stall track: one slice per non-zero cause, drawn in the gap the stall
+  // occupied ([issue - total_stall, issue)); causes stack back-to-back in
+  // attribution order, mirroring how issue_time charges them.
+  const u32 pre_stall =
+      ev.stall_ifetch + ev.stall_operand + ev.stall_fu + ev.stall_lsu;
+  if (pre_stall > 0) {
+    Cycle at = ev.cycle - pre_stall;
+    const std::pair<const char*, u32> causes[] = {
+        {"stall_ifetch", ev.stall_ifetch},
+        {"stall_operand", ev.stall_operand},
+        {"stall_fu_busy", ev.stall_fu},
+        {"stall_lsu", ev.stall_lsu},
+    };
+    for (const auto& [name, cycles] : causes) {
+      if (cycles == 0) continue;
+      w_.complete(pid_, kStallTid, "stall", name, at, cycles);
+      at += cycles;
+    }
+  }
+  // Branch/jump refill penalty lands after issue.
+  if (ev.stall_branch > 0) {
+    w_.complete(pid_, kStallTid, "stall", "stall_branch_penalty", ev.cycle + 1,
+                ev.stall_branch);
+  }
+  if (ev.mispredicted) {
+    w_.instant(pid_, kIssueTid, "branch", "mispredict", ev.cycle);
+  }
+}
+
+LsuTraceRecorder::LsuTraceRecorder(ChromeTraceWriter& w, u32 cpu_pid)
+    : w_(w), pid_(cpu_pid) {}
+
+void LsuTraceRecorder::attach(mem::Lsu& lsu) {
+  lsu.set_observer([this](const mem::LsuTraceEvent& ev) { on_event(ev); });
+}
+
+void LsuTraceRecorder::on_event(const mem::LsuTraceEvent& ev) {
+  const char* name = "load_miss";
+  switch (ev.kind) {
+    case mem::LsuTraceEvent::Kind::kLoadMiss: name = "load_miss"; break;
+    case mem::LsuTraceEvent::Kind::kStoreMiss: name = "store_miss"; break;
+    case mem::LsuTraceEvent::Kind::kPrefetch: name = "prefetch"; break;
+  }
+  std::string label = name;
+  label += " @0x";
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%llx",
+                static_cast<unsigned long long>(ev.line));
+  label += buf;
+  const u64 id = seq_++;
+  w_.async_begin(pid_, "lsu", label, id, ev.start);
+  w_.async_end(pid_, "lsu", label, id, std::max(ev.done, ev.start + 1));
+}
+
+DteTraceRecorder::DteTraceRecorder(ChromeTraceWriter& w) : w_(w) {
+  w_.process_name(kDtePid, "dte");
+  w_.thread_name(kDtePid, 0, "descriptors");
+}
+
+void DteTraceRecorder::attach(soc::Dte& dte) {
+  dte.set_observer([this](const soc::Dte::Descriptor& d, Cycle s, Cycle e) {
+    on_descriptor(d, s, e);
+  });
+}
+
+void DteTraceRecorder::on_descriptor(const soc::Dte::Descriptor& d,
+                                     Cycle start, Cycle done) {
+  std::string args = "{\"src\":" + std::to_string(d.src) +
+                     ",\"dst\":" + std::to_string(d.dst) +
+                     ",\"bytes\":" + std::to_string(d.bytes) + "}";
+  w_.complete(kDtePid, 0, "dma", "copy " + std::to_string(d.bytes) + "B",
+              start, std::max<Cycle>(1, done - start), args);
+  ++seq_;
+}
+
+GppTraceRecorder::GppTraceRecorder(ChromeTraceWriter& w) : w_(w) {
+  w_.process_name(kGppPid, "gpp");
+  w_.thread_name(kGppPid, 0, "batches->cpu0");
+  w_.thread_name(kGppPid, 1, "batches->cpu1");
+}
+
+void GppTraceRecorder::attach(gpp::Gpp& g) {
+  g.set_observer([this](const gpp::Batch& b, Cycle s, Cycle e) {
+    on_batch(b, s, e);
+  });
+}
+
+void GppTraceRecorder::on_batch(const gpp::Batch& b, Cycle start, Cycle done) {
+  std::string args = "{\"first_vertex\":" + std::to_string(b.first_vertex) +
+                     ",\"vertices\":" + std::to_string(b.vertex_count) +
+                     ",\"triangles\":" + std::to_string(b.triangle_count) +
+                     "}";
+  w_.complete(kGppPid, b.cpu, "gpp",
+              "batch " + std::to_string(b.first_vertex / 64), start,
+              std::max<Cycle>(1, done - start), args);
+  ++seq_;
+}
+
+} // namespace majc::trace

@@ -1,0 +1,155 @@
+// Chrome trace-event JSON export (Perfetto / chrome://tracing loadable).
+//
+// The observability layer's timeline view of a run: one track group
+// ("process") per CPU with an issue track, one track per FU pipe and a
+// stall track; async slices for LSU miss fills and prefetches; DMA-engine
+// (DTE/IoPort) descriptor slices and GPP batch slices on their own track
+// groups. Timestamps are guest cycles (rendered by the viewers as
+// microseconds — the absolute unit is irrelevant, relative time is what
+// the timeline shows).
+//
+// The writer streams events as they happen — no buffering proportional to
+// run length — and produces byte-stable output for identical runs.
+#pragma once
+
+#include <array>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cpu/cycle_cpu.h"
+#include "src/gpp/gpp.h"
+#include "src/mem/lsu.h"
+#include "src/sim/functional_sim.h"
+#include "src/soc/dte.h"
+
+namespace majc::trace {
+
+/// Track-group ("pid") assignments for non-CPU agents. CPUs use their
+/// cpu_id (0, 1) directly.
+inline constexpr u32 kDtePid = 8;
+inline constexpr u32 kGppPid = 9;
+
+/// Streaming trace-event emitter: one event object per line inside the
+/// "traceEvents" array. finish() closes the document (also run by the
+/// destructor as a safety net).
+class ChromeTraceWriter {
+public:
+  explicit ChromeTraceWriter(std::ostream& os);
+  ~ChromeTraceWriter();
+
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  /// Metadata: name a track group / track in the viewer.
+  void process_name(u32 pid, std::string_view name);
+  void thread_name(u32 pid, u32 tid, std::string_view name);
+
+  /// Complete slice (ph "X"). `args_json` is an optional pre-rendered JSON
+  /// object (including braces) attached as the event's args.
+  void complete(u32 pid, u32 tid, std::string_view cat, std::string_view name,
+                Cycle ts, Cycle dur, std::string_view args_json = {});
+
+  /// Instant event (ph "i", thread scope).
+  void instant(u32 pid, u32 tid, std::string_view cat, std::string_view name,
+               Cycle ts);
+
+  /// Nestable async slice pair (ph "b"/"e"), matched by (cat, id).
+  void async_begin(u32 pid, std::string_view cat, std::string_view name,
+                   u64 id, Cycle ts);
+  void async_end(u32 pid, std::string_view cat, std::string_view name, u64 id,
+                 Cycle ts);
+
+  void finish();
+  u64 events_written() const { return events_; }
+
+private:
+  void begin_event();
+
+  std::ostream& os_;
+  bool first_ = true;
+  bool finished_ = false;
+  u64 events_ = 0;
+};
+
+/// Adapts one CycleCpu's TraceEvent stream onto writer tracks. Install with
+/// attach() (or forward events yourself when composing with a profiler).
+class CpuTraceRecorder {
+public:
+  /// Track ids inside a CPU's group.
+  static constexpr u32 kIssueTid = 0;
+  static constexpr u32 kFuTidBase = 1;  // fu0..fu3 -> tids 1..4
+  static constexpr u32 kStallTid = 5;
+  static constexpr u32 kLsuTid = 6;
+
+  CpuTraceRecorder(ChromeTraceWriter& w, const sim::Program& prog,
+                   const TimingConfig& cfg, u32 cpu_id);
+
+  /// Install this recorder as the CPU's trace observer.
+  void attach(cpu::CycleCpu& cpu);
+
+  void on_event(const cpu::TraceEvent& ev);
+
+private:
+  struct Labels {
+    bool filled = false;
+    std::string packet;                           // full packet disasm
+    std::array<std::string, isa::kMaxSlots> slot; // per-slot disasm
+  };
+  const Labels& labels(Addr pc, u32 index);
+
+  ChromeTraceWriter& w_;
+  const sim::Program& prog_;
+  TimingConfig cfg_;
+  u32 pid_;
+  std::vector<Labels> labels_;  // dense by packet index
+};
+
+/// Adapts one LSU's miss/prefetch events into async slices on the owning
+/// CPU's track group.
+class LsuTraceRecorder {
+public:
+  LsuTraceRecorder(ChromeTraceWriter& w, u32 cpu_pid);
+
+  /// Install this recorder as the LSU's observer.
+  void attach(mem::Lsu& lsu);
+
+  void on_event(const mem::LsuTraceEvent& ev);
+
+private:
+  ChromeTraceWriter& w_;
+  u32 pid_;
+  u64 seq_ = 0;
+};
+
+/// DTE descriptor slices on the DTE track group.
+class DteTraceRecorder {
+public:
+  explicit DteTraceRecorder(ChromeTraceWriter& w);
+
+  void attach(soc::Dte& dte);
+
+  void on_descriptor(const soc::Dte::Descriptor& d, Cycle start, Cycle done);
+
+private:
+  ChromeTraceWriter& w_;
+  u64 seq_ = 0;
+};
+
+/// GPP batch slices: one track per consuming CPU lane on the GPP group.
+class GppTraceRecorder {
+public:
+  explicit GppTraceRecorder(ChromeTraceWriter& w);
+
+  void attach(gpp::Gpp& g);
+
+  void on_batch(const gpp::Batch& b, Cycle start, Cycle done);
+
+private:
+  ChromeTraceWriter& w_;
+  u64 seq_ = 0;
+};
+
+} // namespace majc::trace

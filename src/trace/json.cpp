@@ -1,0 +1,125 @@
+#include "src/trace/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace majc::trace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+JsonWriter::JsonWriter(std::ostream& os, bool pretty)
+    : os_(os), pretty_(pretty) {}
+
+void JsonWriter::indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::prefix() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  if (!stack_.back().first) os_ << ',';
+  stack_.back().first = false;
+  if (pretty_) indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prefix();
+  os_ << '{';
+  stack_.push_back({/*array=*/false, /*first=*/true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (pretty_ && !empty) indent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prefix();
+  os_ << '[';
+  stack_.push_back({/*array=*/true, /*first=*/true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (pretty_ && !empty) indent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  prefix();
+  os_ << '"' << json_escape(k) << "\":";
+  if (pretty_) os_ << ' ';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  prefix();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  prefix();
+  os_ << json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prefix();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(u64 v) {
+  prefix();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(i64 v) {
+  prefix();
+  os_ << v;
+  return *this;
+}
+
+} // namespace majc::trace

@@ -1,0 +1,73 @@
+// Minimal streaming JSON emitter shared by the observability layer.
+//
+// One writer backs every machine-readable artifact the simulator produces —
+// Chrome trace files, --stats-json dumps, and the bench_* JSON tables — so
+// escaping, number formatting and layout are identical everywhere, and the
+// output is byte-stable for identical inputs (no locale, pointer or hash
+// order dependence).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/types.h"
+
+namespace majc::trace {
+
+/// Escape `s` for inclusion inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// Deterministic rendering of a double: %.6g, with non-finite values mapped
+/// to 0 (JSON has no NaN/Inf).
+std::string json_number(double v);
+
+/// Structured writer with automatic comma/indent management. Keys are
+/// emitted in call order, so output order is fully caller-controlled.
+class JsonWriter {
+public:
+  /// `pretty` adds newlines and two-space indentation; compact mode emits a
+  /// single line (used where consumers stream-parse).
+  explicit JsonWriter(std::ostream& os, bool pretty = true);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(u64 v);
+  JsonWriter& value(i64 v);
+  JsonWriter& value(u32 v) { return value(static_cast<u64>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<i64>(v)); }
+
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+private:
+  /// Comma/newline bookkeeping before a value (or key) is written.
+  void prefix();
+  void indent();
+
+  struct Level {
+    bool array = false;
+    bool first = true;
+  };
+
+  std::ostream& os_;
+  bool pretty_;
+  bool after_key_ = false;
+  std::vector<Level> stack_;
+};
+
+} // namespace majc::trace

@@ -1,0 +1,155 @@
+#include "src/trace/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "src/isa/disasm.h"
+
+namespace majc::trace {
+
+namespace {
+
+constexpr std::array<const char*, cpu::kNumStallCauses> kStallNames = {
+    "ifetch", "operand", "fu_busy", "lsu", "branch_penalty"};
+
+std::string pct(u64 part, u64 whole) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%5.1f%%",
+                whole == 0 ? 0.0
+                           : 100.0 * static_cast<double>(part) /
+                                 static_cast<double>(whole));
+  return buf;
+}
+
+} // namespace
+
+u64 CycleProfiler::Totals::stall_total() const {
+  return std::accumulate(stall.begin(), stall.end(), u64{0});
+}
+
+u64 CycleProfiler::Totals::bypass_total() const {
+  return std::accumulate(bypass.begin(), bypass.end(), u64{0});
+}
+
+u64 CycleProfiler::Totals::attributed_cycles(u32 switch_penalty) const {
+  return packets + stall_total() + switches * switch_penalty;
+}
+
+CycleProfiler::CycleProfiler(const sim::Program& prog)
+    : prog_(prog), per_packet_(prog.num_packets()) {}
+
+void CycleProfiler::attach(cpu::CycleCpu& cpu) {
+  cpu.set_trace([this](const cpu::TraceEvent& ev) { on_event(ev); });
+}
+
+void CycleProfiler::on_event(const cpu::TraceEvent& ev) {
+  if (ev.context_switch) {
+    ++totals_.switches;
+    return;
+  }
+  ++totals_.packets;
+  totals_.instrs += ev.width;
+  if (ev.mispredicted) ++totals_.mispredicts;
+  const std::array<u64, cpu::kNumStallCauses> stalls = {
+      ev.stall_ifetch, ev.stall_operand, ev.stall_fu, ev.stall_lsu,
+      ev.stall_branch};
+  for (u32 i = 0; i < cpu::kNumStallCauses; ++i) totals_.stall[i] += stalls[i];
+  for (u32 i = 0; i < cpu::kNumBypassPaths; ++i) {
+    totals_.bypass[i] += ev.bypass[i];
+  }
+  for (u32 fu = 0; fu < ev.width && fu < isa::kNumFus; ++fu) {
+    ++totals_.fu_slots[fu];
+  }
+
+  const u32 index = prog_.find_index(ev.pc);
+  if (index == sim::kNoPacketIndex) return;
+  PacketProf& p = per_packet_[index];
+  ++p.executions;
+  p.instrs += ev.width;
+  u64 cycles = 1;
+  for (u32 i = 0; i < cpu::kNumStallCauses; ++i) {
+    p.stall[i] += stalls[i];
+    cycles += stalls[i];
+  }
+  p.cycles += cycles;
+}
+
+std::string CycleProfiler::report(u32 top_n, Cycle total_cycles,
+                                  u32 switch_penalty) const {
+  std::ostringstream os;
+  const u64 attributed = totals_.attributed_cycles(switch_penalty);
+  const u64 denom = total_cycles != 0 ? total_cycles : attributed;
+
+  os << "== cycle profile ==\n";
+  os << "packets " << totals_.packets << "  instrs " << totals_.instrs
+     << "  cycles " << denom << "  attributed " << attributed;
+  if (totals_.switches > 0) {
+    os << "  switches " << totals_.switches << " (x" << switch_penalty
+       << "cy)";
+  }
+  os << "\n";
+
+  os << "\n-- per-FU pipe occupancy (packets issuing on pipe / cycles) --\n";
+  for (u32 fu = 0; fu < isa::kNumFus; ++fu) {
+    os << "  fu" << fu << "  " << pct(totals_.fu_slots[fu], denom) << "  ("
+       << totals_.fu_slots[fu] << ")\n";
+  }
+
+  os << "\n-- stall breakdown (cycles / total) --\n";
+  for (u32 i = 0; i < cpu::kNumStallCauses; ++i) {
+    if (totals_.stall[i] == 0) continue;
+    os << "  " << kStallNames[i] << "  " << pct(totals_.stall[i], denom)
+       << "  (" << totals_.stall[i] << ")\n";
+  }
+  if (totals_.stall_total() == 0) os << "  (none)\n";
+
+  os << "\n-- operand delivery by bypass path (reads / all reads) --\n";
+  const u64 reads = totals_.bypass_total();
+  for (u32 i = 0; i < cpu::kNumBypassPaths; ++i) {
+    if (totals_.bypass[i] == 0) continue;
+    os << "  " << cpu::bypass_path_name(static_cast<cpu::BypassPath>(i))
+       << "  " << pct(totals_.bypass[i], reads) << "  (" << totals_.bypass[i]
+       << ")\n";
+  }
+  if (reads == 0) os << "  (none)\n";
+
+  // Hot packets by attributed cycles.
+  std::vector<u32> order;
+  for (u32 i = 0; i < per_packet_.size(); ++i) {
+    if (per_packet_[i].cycles > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [this](u32 a, u32 b) {
+    if (per_packet_[a].cycles != per_packet_[b].cycles) {
+      return per_packet_[a].cycles > per_packet_[b].cycles;
+    }
+    return a < b;  // deterministic tie-break: program order
+  });
+  if (order.size() > top_n) order.resize(top_n);
+
+  os << "\n-- hot packets (top " << order.size() << " by attributed cycles) --\n";
+  for (u32 index : order) {
+    const PacketProf& p = per_packet_[index];
+    const sim::PacketMeta& m = prog_.meta(index);
+    char head[96];
+    std::snprintf(head, sizeof head, "  %s %10llu cy %8llu x  pc=0x%llx",
+                  pct(p.cycles, denom).c_str(),
+                  static_cast<unsigned long long>(p.cycles),
+                  static_cast<unsigned long long>(p.executions),
+                  static_cast<unsigned long long>(m.pc));
+    os << head << "  " << isa::disasm_packet(prog_.packet(index)) << "\n";
+    bool any = false;
+    for (u32 i = 0; i < cpu::kNumStallCauses; ++i) {
+      if (p.stall[i] == 0) continue;
+      os << (any ? ", " : "      stalls: ") << kStallNames[i] << "="
+         << p.stall[i];
+      any = true;
+    }
+    if (any) os << "\n";
+  }
+  if (order.empty()) os << "  (none)\n";
+  return os.str();
+}
+
+} // namespace majc::trace

@@ -1,0 +1,77 @@
+// Cycle-attribution profiler.
+//
+// Consumes the CycleCpu trace-event stream and aggregates per-packet issue
+// and stall cycles into a disassembly-annotated hot-packet report, plus
+// whole-run views the timeline can't show at a glance: per-FU pipe
+// occupancy, bypass-path hit rates, and the scoreboard-stall breakdown.
+//
+// Attribution contract (verified in tests/test_trace.cpp): every cycle of a
+// run is charged to exactly one packet as 1 (issue) + pre-issue stalls +
+// post-issue branch-refill penalty + context-switch overhead, so the
+// profiler's totals reconcile exactly with CpuStats/StallCounters and with
+// the run's cycle count.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/cpu/cycle_cpu.h"
+#include "src/sim/functional_sim.h"
+
+namespace majc::trace {
+
+class CycleProfiler {
+public:
+  /// Per-packet accumulators, dense by program packet index.
+  struct PacketProf {
+    u64 executions = 0;
+    u64 instrs = 0;
+    u64 cycles = 0;  // 1 + stalls + branch penalty, per execution
+    std::array<u64, cpu::kNumStallCauses> stall{};
+  };
+
+  /// Whole-run accumulators.
+  struct Totals {
+    u64 packets = 0;
+    u64 instrs = 0;
+    u64 switches = 0;
+    u64 mispredicts = 0;
+    std::array<u64, cpu::kNumStallCauses> stall{};
+    std::array<u64, cpu::kNumBypassPaths> bypass{};
+    // fu_slots[i] = packets that issued an instruction on FUi; summed over
+    // i this equals instrs (each instruction occupies exactly one pipe).
+    std::array<u64, isa::kNumFus> fu_slots{};
+
+    u64 stall_total() const;
+    u64 bypass_total() const;
+    /// Cycles the profiler accounts for: one issue cycle per packet, every
+    /// stall cycle, and the switch overhead.
+    u64 attributed_cycles(u32 switch_penalty) const;
+  };
+
+  explicit CycleProfiler(const sim::Program& prog);
+
+  /// Feed one trace event (install via attach(), or forward manually when
+  /// composing with a trace recorder on the same stream).
+  void on_event(const cpu::TraceEvent& ev);
+
+  void attach(cpu::CycleCpu& cpu);
+
+  const Totals& totals() const { return totals_; }
+  const std::vector<PacketProf>& packets() const { return per_packet_; }
+
+  /// Human-readable report: hot packets by attributed cycles (top `top_n`),
+  /// per-FU occupancy, bypass-path mix and the stall breakdown.
+  /// `total_cycles` is the run length used for occupancy percentages (pass
+  /// the Result's cycle count); 0 derives it from attributed cycles.
+  std::string report(u32 top_n, Cycle total_cycles,
+                     u32 switch_penalty = 0) const;
+
+private:
+  const sim::Program& prog_;
+  std::vector<PacketProf> per_packet_;
+  Totals totals_;
+};
+
+} // namespace majc::trace

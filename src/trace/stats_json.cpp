@@ -1,0 +1,124 @@
+#include "src/trace/stats_json.h"
+
+#include "src/trace/json.h"
+
+namespace majc::trace {
+
+namespace {
+
+void write_counters(JsonWriter& j, std::string_view key, const CounterSet& c) {
+  j.key(key).begin_object();
+  for (const auto& [name, value] : c.all()) j.kv(name, value);
+  j.end_object();
+}
+
+void write_cache(JsonWriter& j, std::string_view key, const mem::Cache& c) {
+  j.key(key).begin_object();
+  j.kv("hits", c.hits());
+  j.kv("misses", c.misses());
+  j.kv("hit_rate", c.hit_rate());
+  j.end_object();
+}
+
+void write_cpu(JsonWriter& j, cpu::CycleCpu& cpu, mem::MemorySystem& ms,
+               u32 id) {
+  const cpu::CpuStats& st = cpu.stats();
+  j.begin_object();
+  j.kv("id", id);
+  j.kv("packets", st.packets);
+  j.kv("instrs", st.instrs);
+  j.kv("thread_switches", st.thread_switches);
+  j.key("width_hist").begin_array();
+  for (u32 w = 1; w <= isa::kNumFus; ++w) j.value(st.width_hist.bucket(w));
+  j.end_array();
+  j.key("branches").begin_object();
+  j.kv("cond", st.cond_branches);
+  j.kv("taken", st.taken_branches);
+  j.kv("mispredicts", st.mispredicts);
+  j.kv("jumps", st.jumps);
+  j.end_object();
+  write_counters(j, "stalls", st.stalls.aggregate());
+  write_counters(j, "lsu", ms.lsu(id).counters());
+  write_cache(j, "icache", ms.icache(id));
+  j.end_object();
+}
+
+void write_mem(JsonWriter& j, mem::MemorySystem& ms) {
+  j.key("mem").begin_object();
+  write_cache(j, "dcache", ms.dcache());
+  j.key("dram").begin_object();
+  j.kv("requests", ms.dram().requests());
+  j.kv("busy_cycles", ms.dram().busy_cycles());
+  j.end_object();
+  j.end_object();
+}
+
+} // namespace
+
+void write_stats_json(std::ostream& os, cpu::CycleSim& sim,
+                      const cpu::CycleSim::Result& res) {
+  JsonWriter j(os);
+  j.begin_object();
+  j.kv("schema", kStatsSchema);
+  j.kv("mode", "cycle");
+  j.key("run").begin_object();
+  j.kv("cycles", res.cycles);
+  j.kv("packets", res.packets);
+  j.kv("instrs", res.instrs);
+  j.kv("ipc", res.ipc());
+  j.kv("halted", res.halted);
+  j.kv("reason", termination_reason_name(res.reason));
+  j.end_object();
+  j.key("cpus").begin_array();
+  write_cpu(j, sim.cpu(), sim.memsys(), 0);
+  j.end_array();
+  write_mem(j, sim.memsys());
+  j.end_object();
+  os << "\n";
+}
+
+void write_stats_json(std::ostream& os, soc::Majc5200& chip,
+                      const soc::Majc5200::Result& res) {
+  JsonWriter j(os);
+  j.begin_object();
+  j.kv("schema", kStatsSchema);
+  j.kv("mode", "chip");
+  j.key("run").begin_object();
+  j.kv("cycles", res.cycles);
+  j.kv("packets", res.packets[0] + res.packets[1]);
+  j.kv("instrs", res.instrs[0] + res.instrs[1]);
+  j.kv("halted", res.all_halted);
+  j.kv("reason", termination_reason_name(res.reason));
+  j.end_object();
+  j.key("cpus").begin_array();
+  for (u32 i = 0; i < soc::Majc5200::kNumCpus; ++i) {
+    write_cpu(j, chip.cpu(i), chip.memsys(), i);
+  }
+  j.end_array();
+  write_mem(j, chip.memsys());
+  j.key("dte").begin_object();
+  j.kv("descriptors", chip.dte().descriptors_run());
+  j.kv("bytes_moved", chip.dte().bytes_moved());
+  j.end_object();
+  j.end_object();
+  os << "\n";
+}
+
+void write_stats_json(std::ostream& os, const sim::FunctionalSim& sim,
+                      const sim::RunResult& res) {
+  JsonWriter j(os);
+  j.begin_object();
+  j.kv("schema", kStatsSchema);
+  j.kv("mode", "functional");
+  j.key("run").begin_object();
+  j.kv("packets", res.packets);
+  j.kv("instrs", res.instrs);
+  j.kv("halted", res.halted);
+  j.kv("reason", termination_reason_name(res.reason));
+  j.end_object();
+  j.kv("program_packets", static_cast<u64>(sim.program().num_packets()));
+  j.end_object();
+  os << "\n";
+}
+
+} // namespace majc::trace
