@@ -1,0 +1,278 @@
+// Seeded fault-soak harness: storm the 16 Table 1/2 kernels with randomized
+// fault-injection rates under the recoverable machine-check policies and
+// assert every recovered run still computes the golden architectural
+// outcome.
+//
+// Each (kernel, iteration) pair derives a FaultConfig from the base seed via
+// SplitMix64 — correctable/uncorrectable DRAM rates, cache-fill parity
+// rates, crossbar grant delay/drop rates — and alternates the
+// machine-check policy between retry and poison-and-scrub. Faults cost
+// time (refetches, re-arbitrations, scrub refills), never correctness:
+// the kernel's validate() hook re-checks the outputs against the golden
+// C++ model, so a run that "recovers" into wrong data fails loudly.
+//
+//   $ ./soak_faults                      # default: 2 iterations per kernel
+//   $ ./soak_faults --runs=4 --seed=7    # longer storm, different stream
+//   $ ./soak_faults --json=soak.json     # machine-readable results
+//
+// Exit status: 0 when every run validated and halted, 1 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/kernels/biquad.h"
+#include "src/kernels/bitrev.h"
+#include "src/kernels/cfir.h"
+#include "src/kernels/color_convert.h"
+#include "src/kernels/convolve.h"
+#include "src/kernels/dct_quant.h"
+#include "src/kernels/fft.h"
+#include "src/kernels/fir.h"
+#include "src/kernels/idct.h"
+#include "src/kernels/kernel.h"
+#include "src/kernels/lms.h"
+#include "src/kernels/max_search.h"
+#include "src/kernels/mb_decode.h"
+#include "src/kernels/motion_est.h"
+#include "src/kernels/vld.h"
+#include "src/trace/json.h"
+
+using namespace majc;
+
+namespace {
+
+constexpr const char* kSoakSchema = "majc-soak-v1";
+
+u64 splitmix64(u64& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double u01(u64& x) {
+  return static_cast<double>(splitmix64(x) >> 11) * 0x1.0p-53;
+}
+
+/// Randomized-but-bounded fault rates: high enough that every fault class
+/// fires on real kernels, low enough that recovery (not the fault storm)
+/// dominates the run.
+FaultConfig derive_faults(u64 base_seed, u64 kernel_idx, u64 iteration) {
+  u64 s = base_seed ^ (kernel_idx * 0x9e3779b97f4a7c15ull) ^
+          (iteration << 32);
+  FaultConfig f;
+  f.seed = splitmix64(s);
+  f.dram_correctable_rate = u01(s) * 0.1;
+  f.dram_uncorrectable_rate = u01(s) * 0.02;
+  f.fill_parity_rate = u01(s) * 0.05;
+  f.xbar_delay_rate = u01(s) * 0.1;
+  f.xbar_delay_cycles = 1 + static_cast<u32>(splitmix64(s) % 16);
+  f.xbar_drop_rate = u01(s) * 0.02;
+  f.ecc_enabled = true;
+  // Both recoverable machine-check policies get coverage; kFatal/kDeliver
+  // would terminate these handler-less kernels on the first double-bit hit.
+  f.mc_policy = iteration % 2 == 0 ? MachineCheckPolicy::kRetry
+                                   : MachineCheckPolicy::kPoison;
+  return f;
+}
+
+struct NamedKernel {
+  const char* name;
+  std::function<kernels::KernelSpec()> make;
+};
+
+std::vector<NamedKernel> table12_kernels() {
+  using namespace kernels;
+  return {
+      {"biquad", [] { return make_biquad_spec(); }},
+      {"fir", [] { return make_fir_spec(); }},
+      {"iir", [] { return make_iir_spec(); }},
+      {"cfir", [] { return make_cfir_spec(); }},
+      {"lms", [] { return make_lms_spec(); }},
+      {"max_search", [] { return make_max_search_spec(); }},
+      {"bitrev", [] { return make_bitrev_spec(); }},
+      {"fft_radix2", [] { return make_fft_radix2_spec(); }},
+      {"fft_radix4", [] { return make_fft_radix4_spec(); }},
+      {"idct", [] { return make_idct_spec(); }},
+      {"dct_quant", [] { return make_dct_quant_spec(); }},
+      {"vld", [] { return make_vld_spec(); }},
+      {"motion_est", [] { return make_motion_est_spec(); }},
+      {"mb_decode", [] { return make_mb_decode_spec(); }},
+      {"convolve", [] { return make_convolve_spec(); }},
+      {"color_convert", [] { return make_color_convert_spec(); }},
+  };
+}
+
+struct SoakRun {
+  u64 iteration = 0;
+  FaultConfig faults;
+  kernels::KernelRun run;
+  bool ok = false;
+};
+
+struct SoakKernel {
+  const char* name = nullptr;
+  kernels::KernelRun golden;
+  std::vector<SoakRun> runs;
+};
+
+void write_recovery(trace::JsonWriter& j,
+                    const kernels::KernelRun::Recovery& r) {
+  j.key("recovery").begin_object();
+  j.kv("ecc_corrected", r.ecc_corrected);
+  j.kv("ecc_retried", r.ecc_retried);
+  j.kv("ecc_poisoned", r.ecc_poisoned);
+  j.kv("machine_checks", r.machine_checks);
+  j.kv("fill_parity_retries", r.fill_parity_retries);
+  j.kv("fill_machine_checks", r.fill_machine_checks);
+  j.kv("xbar_delayed_grants", r.xbar_delayed_grants);
+  j.kv("xbar_dropped_grants", r.xbar_dropped_grants);
+  j.kv("traps_delivered", r.traps_delivered);
+  j.end_object();
+}
+
+void write_json(std::ostream& os, u64 seed, u64 runs_per_kernel,
+                const std::vector<SoakKernel>& kernels_out, u64 failures) {
+  trace::JsonWriter j(os);
+  j.begin_object();
+  j.kv("schema", kSoakSchema);
+  j.kv("seed", seed);
+  j.kv("runs_per_kernel", runs_per_kernel);
+  j.key("kernels").begin_array();
+  for (const SoakKernel& k : kernels_out) {
+    j.begin_object();
+    j.kv("name", k.name);
+    j.key("golden").begin_object();
+    j.kv("valid", k.golden.valid);
+    j.kv("kernel_cycles", k.golden.kernel_cycles);
+    j.kv("total_cycles", k.golden.total_cycles);
+    j.end_object();
+    j.key("runs").begin_array();
+    for (const SoakRun& r : k.runs) {
+      j.begin_object();
+      j.kv("iteration", r.iteration);
+      j.kv("fault_seed", r.faults.seed);
+      j.kv("mc_policy", machine_check_policy_name(r.faults.mc_policy));
+      j.kv("dram_correctable_rate", r.faults.dram_correctable_rate);
+      j.kv("dram_uncorrectable_rate", r.faults.dram_uncorrectable_rate);
+      j.kv("fill_parity_rate", r.faults.fill_parity_rate);
+      j.kv("xbar_delay_rate", r.faults.xbar_delay_rate);
+      j.kv("xbar_drop_rate", r.faults.xbar_drop_rate);
+      j.kv("ok", r.ok);
+      j.kv("valid", r.run.valid);
+      j.kv("halted", r.run.halted);
+      j.kv("reason", termination_reason_name(r.run.reason));
+      j.kv("total_cycles", r.run.total_cycles);
+      if (!r.run.message.empty()) j.kv("message", r.run.message);
+      write_recovery(j, r.run.recovery);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+  j.key("summary").begin_object();
+  j.kv("total_runs", static_cast<u64>(kernels_out.size()) * runs_per_kernel);
+  j.kv("failures", failures);
+  j.end_object();
+  j.end_object();
+  os << "\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  u64 seed = 0x5eed50a4;  // default stream; override with --seed
+  u64 runs_per_kernel = 2;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--seed=", 7) == 0) {
+      seed = std::strtoull(a + 7, nullptr, 0);
+    } else if (std::strncmp(a, "--runs=", 7) == 0) {
+      runs_per_kernel = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      json_path = a + 7;
+    } else {
+      std::fprintf(stderr,
+                   "usage: soak_faults [--seed=S] [--runs=N] [--json=FILE]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<NamedKernel> kernels_in = table12_kernels();
+  std::vector<SoakKernel> results;
+  u64 failures = 0;
+
+  for (std::size_t ki = 0; ki < kernels_in.size(); ++ki) {
+    const NamedKernel& nk = kernels_in[ki];
+    SoakKernel out;
+    out.name = nk.name;
+    out.golden = kernels::run_kernel(nk.make());
+    if (!out.golden.valid) {
+      std::fprintf(stderr, "%-14s GOLDEN RUN INVALID: %s\n", nk.name,
+                   out.golden.message.c_str());
+      ++failures;
+    }
+    for (u64 it = 0; it < runs_per_kernel; ++it) {
+      SoakRun sr;
+      sr.iteration = it;
+      sr.faults = derive_faults(seed, ki, it);
+      TimingConfig cfg;
+      cfg.faults = sr.faults;
+      sr.run = kernels::run_kernel(nk.make(), cfg);
+      // Recovery must be invisible to architecture: the faulty run halts
+      // and its outputs match the golden model exactly. Timing is allowed
+      // (expected) to differ — that is the cost of recovery.
+      sr.ok = sr.run.valid && sr.run.halted && out.golden.valid;
+      if (!sr.ok) {
+        ++failures;
+        std::fprintf(stderr, "%-14s it=%llu policy=%s FAILED: %s\n", nk.name,
+                     static_cast<unsigned long long>(it),
+                     machine_check_policy_name(sr.faults.mc_policy),
+                     sr.run.message.empty() ? termination_reason_name(
+                                                  sr.run.reason)
+                                            : sr.run.message.c_str());
+      } else {
+        const auto& rec = sr.run.recovery;
+        std::printf(
+            "%-14s it=%llu policy=%-6s ok  cycles %llu (golden %llu)  "
+            "corrected %llu retried %llu poisoned %llu refetch %llu "
+            "xbar %llu/%llu\n",
+            nk.name, static_cast<unsigned long long>(it),
+            machine_check_policy_name(sr.faults.mc_policy),
+            static_cast<unsigned long long>(sr.run.total_cycles),
+            static_cast<unsigned long long>(out.golden.total_cycles),
+            static_cast<unsigned long long>(rec.ecc_corrected),
+            static_cast<unsigned long long>(rec.ecc_retried),
+            static_cast<unsigned long long>(rec.ecc_poisoned),
+            static_cast<unsigned long long>(rec.fill_parity_retries),
+            static_cast<unsigned long long>(rec.xbar_delayed_grants),
+            static_cast<unsigned long long>(rec.xbar_dropped_grants));
+      }
+      out.runs.push_back(std::move(sr));
+    }
+    results.push_back(std::move(out));
+  }
+
+  if (json_path != nullptr) {
+    std::ofstream os(json_path, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    write_json(os, seed, runs_per_kernel, results, failures);
+  }
+
+  std::printf("soak: %zu kernels x %llu runs, %llu failure(s)\n",
+              results.size(),
+              static_cast<unsigned long long>(runs_per_kernel),
+              static_cast<unsigned long long>(failures));
+  return failures == 0 ? 0 : 1;
+}

@@ -16,6 +16,16 @@
 //   --profile[=N]      print the cycle-attribution profile (top N packets,
 //                      default 10) after the run
 //   --stats-json=FILE  write machine-readable run statistics ("-" = stdout)
+//
+// Checkpoint / restore (all run modes; see DESIGN.md §8):
+//   --checkpoint-out=FILE   write a checkpoint of the final state; with
+//                           --checkpoint-every, rewrite it periodically
+//   --checkpoint-every=N    checkpoint after every N packets (per CPU)
+//   --restore=FILE          resume from a checkpoint (same program, same
+//                           configuration, same mode)
+//   --max-packets=N         stop after N packets per CPU (cumulative across
+//                           a restore; default 100000000)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +42,7 @@
 #include "src/masm/assembler.h"
 #include "src/sim/functional_sim.h"
 #include "src/soc/chip.h"
+#include "src/support/checkpoint.h"
 #include "src/trace/chrome_trace.h"
 #include "src/trace/profiler.h"
 #include "src/trace/stats_json.h"
@@ -50,6 +61,10 @@ struct Options {
   const char* stats_json = nullptr;
   bool profile = false;
   u32 profile_top = 10;
+  const char* checkpoint_out = nullptr;
+  u64 checkpoint_every = 0;
+  const char* restore = nullptr;
+  u64 max_packets = 100'000'000;
   const char* path = nullptr;
 };
 
@@ -75,6 +90,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (std::strncmp(a, "--profile=", 10) == 0) {
       opt.profile = true;
       opt.profile_top = static_cast<u32>(std::atoi(a + 10));
+    } else if (std::strncmp(a, "--checkpoint-out=", 17) == 0) {
+      opt.checkpoint_out = a + 17;
+    } else if (std::strncmp(a, "--checkpoint-every=", 19) == 0) {
+      opt.checkpoint_every = std::strtoull(a + 19, nullptr, 10);
+    } else if (std::strncmp(a, "--restore=", 10) == 0) {
+      opt.restore = a + 10;
+    } else if (std::strncmp(a, "--max-packets=", 14) == 0) {
+      opt.max_packets = std::strtoull(a + 14, nullptr, 10);
     } else if (a[0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", a);
       return false;
@@ -103,6 +126,30 @@ bool write_file_or_stdout(const char* path, Fn emit) {
   return os.good();
 }
 
+/// Restore `s` from a checkpoint file; diagnoses header mismatches
+/// (different image / config / mode) and I/O failures.
+template <typename Sim>
+bool restore_from(const char* path, Sim& s) {
+  try {
+    ckpt::restore_checkpoint(s, ckpt::read_checkpoint_file(path));
+    return true;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return false;
+  }
+}
+
+template <typename Sim>
+bool save_to(const char* path, const Sim& s) {
+  try {
+    ckpt::write_checkpoint_file(path, ckpt::save_checkpoint(s));
+    return true;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return false;
+  }
+}
+
 void print_legacy_trace(const cpu::TraceEvent& ev) {
   if (ev.context_switch) {
     std::printf("%8llu  thread %u switched out at pc 0x%llx\n",
@@ -125,7 +172,10 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) {
     std::fprintf(stderr,
                  "usage: majc_run [-f|-d|-2|-c|-t] [--trace-out=FILE] "
-                 "[--profile[=N]] [--stats-json=FILE] <prog.s>\n");
+                 "[--profile[=N]] [--stats-json=FILE]\n"
+                 "                [--checkpoint-out=FILE] "
+                 "[--checkpoint-every=N] [--restore=FILE]\n"
+                 "                [--max-packets=N] <prog.s>\n");
     return 2;
   }
 
@@ -155,11 +205,27 @@ int main(int argc, char** argv) {
   }
   if (opt.functional) {
     sim::FunctionalSim sim(*image);
-    const auto res = sim.run();
+    if (opt.restore != nullptr && !restore_from(opt.restore, sim)) return 2;
+    // run() takes a per-call budget, so the chunked loop hands it the
+    // distance to the cumulative --max-packets cap each iteration.
+    sim::RunResult res;
+    for (;;) {
+      const u64 done = sim.packets_run();
+      const u64 budget = opt.max_packets > done ? opt.max_packets - done : 0;
+      const u64 chunk = opt.checkpoint_every != 0
+                            ? std::min(opt.checkpoint_every, budget)
+                            : budget;
+      res = sim.run(chunk);
+      if (opt.checkpoint_out != nullptr && !save_to(opt.checkpoint_out, sim))
+        return 2;
+      if (res.reason != TerminationReason::kPacketCap ||
+          opt.checkpoint_every == 0 || sim.packets_run() >= opt.max_packets)
+        break;
+    }
     std::fputs(sim.console().c_str(), stdout);
     std::printf("[functional] %llu packets, %llu instructions, %s\n",
-                static_cast<unsigned long long>(res.packets),
-                static_cast<unsigned long long>(res.instrs),
+                static_cast<unsigned long long>(sim.packets_run()),
+                static_cast<unsigned long long>(sim.instrs_run()),
                 termination_reason_name(res.reason));
     if (res.reason == TerminationReason::kTrap) {
       std::fputs(trap_report(res.trap, sim.program(), sim.state()).c_str(),
@@ -193,6 +259,7 @@ int main(int argc, char** argv) {
 
   if (opt.dual) {
     soc::Majc5200 chip(*image);
+    if (opt.restore != nullptr && !restore_from(opt.restore, chip)) return 2;
     std::vector<std::unique_ptr<trace::CpuTraceRecorder>> recorders;
     std::vector<std::unique_ptr<trace::LsuTraceRecorder>> lsu_recorders;
     std::unique_ptr<trace::DteTraceRecorder> dte_recorder;
@@ -224,7 +291,24 @@ int main(int argc, char** argv) {
       dte_recorder = std::make_unique<trace::DteTraceRecorder>(*writer);
       dte_recorder->attach(chip.dte());
     }
-    const auto res = chip.run();
+    // run()'s cap is an absolute per-CPU packet count, so re-calling with a
+    // larger cap resumes where the previous chunk stopped.
+    soc::Majc5200::Result res;
+    for (;;) {
+      u64 done = 0;
+      for (u32 c = 0; c < soc::Majc5200::kNumCpus; ++c)
+        done = std::max(done, chip.cpu(c).stats().packets);
+      const u64 cap =
+          opt.checkpoint_every != 0
+              ? std::min(done + opt.checkpoint_every, opt.max_packets)
+              : opt.max_packets;
+      res = chip.run(cap);
+      if (opt.checkpoint_out != nullptr && !save_to(opt.checkpoint_out, chip))
+        return 2;
+      if (res.reason != TerminationReason::kPacketCap ||
+          opt.checkpoint_every == 0 || cap >= opt.max_packets)
+        break;
+    }
     if (writer) writer->finish();
     for (u32 c = 0; c < 2; ++c) {
       std::fputs(chip.cpu(c).console().c_str(), stdout);
@@ -253,6 +337,7 @@ int main(int argc, char** argv) {
   }
 
   cpu::CycleSim sim(*image);
+  if (opt.restore != nullptr && !restore_from(opt.restore, sim)) return 2;
   std::unique_ptr<trace::CpuTraceRecorder> recorder;
   std::unique_ptr<trace::LsuTraceRecorder> lsu_recorder;
   std::unique_ptr<trace::CycleProfiler> profiler;
@@ -275,7 +360,20 @@ int main(int argc, char** argv) {
       if (echo) print_legacy_trace(ev);
     });
   }
-  const auto res = sim.run();
+  cpu::CycleSim::Result res;
+  for (;;) {
+    const u64 done = sim.cpu().stats().packets;
+    const u64 cap =
+        opt.checkpoint_every != 0
+            ? std::min(done + opt.checkpoint_every, opt.max_packets)
+            : opt.max_packets;
+    res = sim.run(cap);
+    if (opt.checkpoint_out != nullptr && !save_to(opt.checkpoint_out, sim))
+      return 2;
+    if (res.reason != TerminationReason::kPacketCap ||
+        opt.checkpoint_every == 0 || res.packets >= opt.max_packets)
+      break;
+  }
   if (writer) writer->finish();
   std::fputs(sim.console().c_str(), stdout);
   std::printf("[cycle] %llu cycles, %llu instructions, IPC %.2f, %s\n",

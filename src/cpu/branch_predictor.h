@@ -12,6 +12,11 @@
 #include "src/soc/config.h"
 #include "src/support/types.h"
 
+namespace majc::ckpt {
+class Writer;
+class Reader;
+} // namespace majc::ckpt
+
 namespace majc::cpu {
 
 class BranchPredictor {
@@ -32,6 +37,9 @@ public:
                                static_cast<double>(lookups_);
   }
   void reset_stats() { lookups_ = correct_ = 0; }
+
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
 
 private:
   u32 index(Addr pc) const;

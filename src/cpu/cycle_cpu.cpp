@@ -97,12 +97,33 @@ void CycleCpu::step() {
   try {
     step_impl();
   } catch (const TrapException& e) {
-    // Deliver the trap precisely: the faulting packet committed no register
-    // writes, so the active thread's pc still names it.
+    // The faulting packet committed no register writes, so the active
+    // thread's pc still names it — except for LSU-raised machine checks,
+    // which surface after commit (the LSU issues post-commit) and therefore
+    // report the next packet's pc: an imprecise, asynchronous machine check,
+    // still cleanly resumable via RETT.
+    ThreadCtx& th = threads_[active_];
     Trap t = e.trap();
     t.cpu = cpu_id_;
-    t.pc = threads_[active_].state.pc;
-    t.cycle = std::max(current_cycle_, threads_[active_].ready);
+    t.pc = th.state.pc;
+    t.cycle = std::max(current_cycle_, th.ready);
+    t.unit = TimeUnit::kCycles;
+    if (th.state.can_deliver(t.deliverable)) {
+      // Recover: vector this thread into its handler and keep the CPU
+      // running. Entry costs trap_entry_penalty cycles of front-end refill.
+      const u32 fidx = prog_.find_index(th.state.pc);
+      const Addr npc = fidx == sim::kNoPacketIndex
+                           ? th.state.pc
+                           : prog_.meta(fidx).fall_through;
+      th.state.deliver_trap(static_cast<u32>(t.code), t.pc, npc, t.value);
+      th.idx = sim::kNoPacketIndex;
+      th.idx_pc = th.state.pc;
+      th.ready = t.cycle + cfg_.trap_entry_penalty;
+      ++stats_.traps_delivered;
+      last_trap_ = std::move(t);
+      update_now_cache();
+      return;
+    }
     trap_ = std::move(t);
   }
 }
@@ -285,6 +306,7 @@ CycleSim::CycleSim(masm::Image image, const TimingConfig& cfg,
       mem_(mem_bytes),
       ms_(cfg),
       eccmem_(mem_, ms_.fault_plan()) {
+  eccmem_.set_poison_hook([&ms = ms_](Addr line) { ms.poison_line(line); });
   sim::load_image(prog_.image(), mem_);
   cpu_ = std::make_unique<CycleCpu>(prog_, eccmem_, ms_, /*cpu_id=*/0);
   for (u32 t = 0; t < cpu_->hw_threads(); ++t) {

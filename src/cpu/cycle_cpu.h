@@ -32,6 +32,11 @@
 #include "src/sim/functional_sim.h"
 #include "src/support/stats.h"
 
+namespace majc::ckpt {
+class Writer;
+class Reader;
+} // namespace majc::ckpt
+
 namespace majc::cpu {
 
 /// One issued packet (or context switch) as seen by a trace observer.
@@ -94,6 +99,7 @@ struct CpuStats {
   u64 mispredicts = 0;
   u64 jumps = 0;
   u64 thread_switches = 0;
+  u64 traps_delivered = 0;  // traps recovered via the guest handler (SETTVEC)
   StallCounters stalls;  // ifetch / operand / fu_busy / lsu / branch_penalty
 };
 
@@ -104,7 +110,9 @@ public:
 
   /// Issue and execute the next packet of the scheduled thread (or perform
   /// a context switch). No-op once every thread has halted. An architected
-  /// trap stops the whole CPU (every context) and is recorded in trap().
+  /// trap is delivered to the faulting thread's handler when one is
+  /// installed (SETTVEC) and execution continues; otherwise it stops the
+  /// whole CPU (every context) and is recorded in trap().
   void step();
 
   bool halted() const;
@@ -133,6 +141,12 @@ public:
   const CpuStats& stats() const { return stats_; }
   const std::string& console() const { return console_; }
   BranchPredictor& predictor() { return bpred_; }
+  /// The most recent trap recovered via the guest handler (code == kNone if
+  /// none was delivered).
+  const Trap& last_delivered_trap() const { return last_trap_; }
+
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
 
   /// Install a per-packet trace observer (empty function disables).
   void set_trace(std::function<void(const TraceEvent&)> fn) {
@@ -186,6 +200,7 @@ private:
   CpuStats stats_;
   std::function<void(const TraceEvent&)> trace_;
   std::optional<Trap> trap_;
+  Trap last_trap_;
   Cycle last_progress_ = 0;
 };
 
@@ -213,11 +228,18 @@ public:
   Result run(u64 max_packets = 100'000'000);
 
   CycleCpu& cpu() { return *cpu_; }
+  const CycleCpu& cpu() const { return *cpu_; }
   mem::MemorySystem& memsys() { return ms_; }
+  const mem::MemorySystem& memsys() const { return ms_; }
   sim::FlatMemory& memory() { return mem_; }
+  const sim::FlatMemory& memory() const { return mem_; }
   mem::EccMemory& ecc() { return eccmem_; }
+  const mem::EccMemory& ecc() const { return eccmem_; }
   const sim::Program& program() const { return prog_; }
   const std::string& console() const { return cpu_->console(); }
+
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
 
 private:
   sim::Program prog_;

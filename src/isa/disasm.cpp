@@ -25,7 +25,7 @@ void append_operands(std::ostringstream& os, const Instr& in) {
       os << ' ' << in.imm;
       break;
     case Form::kN:
-      if (info.writes_rd()) os << ' ' << reg_name(in.rd);
+      if (info.writes_rd() || info.has(kReadsRd)) os << ' ' << reg_name(in.rd);
       break;
   }
 }

@@ -77,8 +77,9 @@ u32 encode_instr(const Instr& in) {
       w = deposit(w, 0, 23, static_cast<u32>(in.imm));
       break;
     case Form::kN:
-      // getcpu/gettick carry a destination even though they take no sources.
-      if (info.writes_rd()) {
+      // getcpu/gettick carry a destination even though they take no sources;
+      // settvec/rett carry rd as a source operand (vector base / target).
+      if (info.writes_rd() || info.has(kReadsRd)) {
         check_reg(in.rd, "rd");
         w = deposit(w, 16, 7, in.rd);
       }
@@ -113,7 +114,9 @@ Instr decode_instr(u32 word) {
       in.imm = sign_extend(bits(word, 0, 23), 23);
       break;
     case Form::kN:
-      if (info.writes_rd()) in.rd = static_cast<RegSpec>(bits(word, 16, 7));
+      if (info.writes_rd() || info.has(kReadsRd)) {
+        in.rd = static_cast<RegSpec>(bits(word, 16, 7));
+      }
       break;
   }
   return in;

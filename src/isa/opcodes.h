@@ -126,6 +126,10 @@ inline constexpr u8 kFuAll = 0b1111;
   OP(kGetcpu, "getcpu", kN, kControl, kFu0, 1, 1, kWritesRd, 0, 0)                                           \
   OP(kGettid, "gettid", kN, kControl, kFu0, 1, 1, kWritesRd, 0, 0)                                           \
   OP(kGettick, "gettick", kN, kControl, kFu0, 1, 1, kWritesRd, 0, 0)                                         \
+  /* ---- trap unit (FU0): vector base, saved-state reads, return ---- */                                    \
+  OP(kSettvec, "settvec", kN, kControl, kFu0, 1, 1, kReadsRd, 0, 0)                                          \
+  OP(kMftr,  "mftr",  kL, kControl, kFu0, 1, 1, kWritesRd, 0, 0)                                             \
+  OP(kRett,  "rett",  kN, kControl, kFu0, 1, 1, kReadsRd | kJump, 0, 0)                                      \
   /* ---- ALU, all FUs ---- */                                                                               \
   OP(kAdd,   "add",   kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \
   OP(kSub,   "sub",   kR, kAlu, kFuAll, 1, 1, kWritesRd | kReadsRs1 | kReadsRs2, 0, 0)                       \

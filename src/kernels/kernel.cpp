@@ -1,6 +1,7 @@
 #include "src/kernels/kernel.h"
 
 #include "src/sim/functional_sim.h"
+#include "src/support/checkpoint.h"
 
 namespace majc::kernels {
 namespace {
@@ -34,12 +35,31 @@ KernelRun run_kernel(const KernelSpec& spec, const TimingConfig& cfg) {
   run.packets = res.packets;
   run.instrs = res.instrs;
   run.halted = res.halted;
+  run.reason = res.reason;
   run.ipc = res.ipc();
   run.cpu_stats = sim.cpu().stats();
+  run.arch_digest = ckpt::arch_digest(sim);
+  const mem::MemorySystem& ms = sim.memsys();
+  run.recovery.ecc_corrected = sim.ecc().corrected();
+  run.recovery.ecc_retried = sim.ecc().retried();
+  run.recovery.ecc_poisoned = sim.ecc().poisoned_lines();
+  run.recovery.machine_checks = sim.ecc().machine_checks();
+  run.recovery.fill_parity_retries =
+      ms.ifetch_parity_retries() +
+      ms.lsu(0).counter(mem::LsuCounter::kFillParityRetries);
+  run.recovery.fill_machine_checks =
+      ms.ifetch_machine_checks() +
+      ms.lsu(0).counter(mem::LsuCounter::kFillMachineChecks);
+  run.recovery.xbar_delayed_grants = ms.xbar().delayed_grants();
+  run.recovery.xbar_dropped_grants = ms.xbar().dropped_grants();
+  run.recovery.traps_delivered = sim.cpu().stats().traps_delivered;
   fill_common(run, sim.program().image(), sim.memory(), spec);
   if (!res.halted) {
     run.valid = false;
-    run.message = "kernel did not halt within packet budget";
+    run.message = res.reason == TerminationReason::kTrap
+                      ? std::string(trap_cause_name(res.trap.code)) +
+                            " trap: " + res.trap.detail
+                      : "kernel did not halt within packet budget";
   }
   return run;
 }
@@ -55,6 +75,8 @@ KernelRun run_kernel_functional(const KernelSpec& spec) {
   run.packets = res.packets;
   run.instrs = res.instrs;
   run.halted = res.halted;
+  run.reason = res.reason;
+  run.arch_digest = ckpt::arch_digest(sim);
   fill_common(run, sim.program().image(), sim.memory(), spec);
   if (!res.halted) {
     run.valid = false;

@@ -36,9 +36,27 @@ struct KernelRun {
   u64 instrs = 0;
   bool valid = false;
   bool halted = false;
+  TerminationReason reason = TerminationReason::kPacketCap;
   std::string message;
   cpu::CpuStats cpu_stats;
   double ipc = 0.0;
+  /// FNV-1a over memory + registers + pc at the end of the run: two runs
+  /// that agree here computed the same architectural outcome.
+  u64 arch_digest = 0;
+  /// RAS events absorbed during the run without ending it (plus the machine
+  /// checks that did). Filled by the cycle-accurate path; the fault-soak
+  /// harness asserts recovered runs still validate against the golden model.
+  struct Recovery {
+    u64 ecc_corrected = 0;
+    u64 ecc_retried = 0;          // uncorrectable reads retried (kRetry)
+    u64 ecc_poisoned = 0;         // lines scrubbed (kPoison / kDeliver)
+    u64 machine_checks = 0;       // uncorrectable errors seen by ECC
+    u64 fill_parity_retries = 0;  // corrupted cache fills refetched
+    u64 fill_machine_checks = 0;  // bounded-refetch exhaustions
+    u64 xbar_delayed_grants = 0;
+    u64 xbar_dropped_grants = 0;
+    u64 traps_delivered = 0;      // traps recovered via the guest handler
+  } recovery;
 };
 
 /// Assemble and run `spec` on a single cycle-accurate CPU.

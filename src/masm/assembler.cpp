@@ -444,8 +444,9 @@ bool AsmContext::parse_slot(const std::vector<Token>& toks, std::size_t& i,
     case Form::kJ:
       return parse_operand_imm(toks, i, out);
     case Form::kN:
-      if (info.writes_rd()) {
-        // getcpu / gettick take a destination register.
+      if (info.writes_rd() || info.has(isa::kReadsRd)) {
+        // getcpu / gettick take a destination register; settvec / rett take
+        // a single source register in the same slot.
         if (!parse_reg_tok(out.instr.rd)) return false;
       }
       return true;

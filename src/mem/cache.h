@@ -12,6 +12,11 @@
 #include "src/support/stats.h"
 #include "src/support/types.h"
 
+namespace majc::ckpt {
+class Writer;
+class Reader;
+} // namespace majc::ckpt
+
 namespace majc::mem {
 
 class Cache {
@@ -59,6 +64,9 @@ public:
   }
   const Config& config() const { return cfg_; }
   void reset_stats();
+
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
 
 private:
   struct Line {

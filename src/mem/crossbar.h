@@ -14,6 +14,11 @@
 #include "src/soc/config.h"
 #include "src/support/types.h"
 
+namespace majc::ckpt {
+class Writer;
+class Reader;
+} // namespace majc::ckpt
+
 namespace majc::mem {
 
 enum class Port : u8 {
@@ -56,6 +61,9 @@ public:
   u64 delayed_grants() const { return delayed_grants_; }
   u64 dropped_grants() const { return dropped_grants_; }
   void reset_stats();
+
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
 
 private:
   u32 hop_;

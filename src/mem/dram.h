@@ -12,6 +12,11 @@
 #include "src/soc/config.h"
 #include "src/support/types.h"
 
+namespace majc::ckpt {
+class Writer;
+class Reader;
+} // namespace majc::ckpt
+
 namespace majc::mem {
 
 class Dram {
@@ -27,6 +32,9 @@ public:
   /// Cycles the channel was busy (for utilization reporting).
   u64 busy_cycles() const { return busy_cycles_; }
   void reset_stats();
+
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
 
 private:
   u32 bank_of(Addr addr) const {

@@ -13,6 +13,7 @@ void EccMemory::read(Addr addr, std::span<u8> out) {
   const Addr first = addr & ~Addr{kLineBytes - 1};
   const Addr last = (addr + out.size() - 1) & ~Addr{kLineBytes - 1};
   for (Addr line = first; line <= last; line += kLineBytes) {
+    if (!healed_.empty() && healed_.count(line) != 0) continue;
     switch (plan_.dram_fault(line)) {
       case FaultPlan::DramFault::kNone:
         break;
@@ -31,9 +32,34 @@ void EccMemory::read(Addr addr, std::span<u8> out) {
       case FaultPlan::DramFault::kUncorrectable: {
         if (plan_.config().ecc_enabled) {
           ++machine_checks_;
-          raise_trap(TrapCause::kMachineCheck,
-                     "uncorrectable ECC error reading DRAM line " +
-                         std::to_string(line));
+          switch (plan_.config().mc_policy) {
+            case MachineCheckPolicy::kRetry:
+              // Transient double-bit flip: absent on the re-read. The line
+              // stays fault-prone (a stuck cell re-faults next access).
+              ++retried_;
+              continue;
+            case MachineCheckPolicy::kPoison:
+            case MachineCheckPolicy::kDeliver:
+              // Scrub: rewrite the line from the architected backing value
+              // and invalidate cached copies (the refill is the timing
+              // cost). kPoison continues transparently; kDeliver also
+              // informs the guest handler, which can then retry cleanly.
+              ++poisoned_;
+              healed_.insert(line);
+              if (poison_hook_) poison_hook_(line);
+              if (plan_.config().mc_policy == MachineCheckPolicy::kPoison) {
+                continue;
+              }
+              raise_trap(TrapCause::kMachineCheck,
+                         "uncorrectable ECC error reading DRAM line " +
+                             std::to_string(line) + " (line scrubbed)",
+                         static_cast<u32>(line), /*deliverable=*/true);
+            case MachineCheckPolicy::kFatal:
+              raise_trap(TrapCause::kMachineCheck,
+                         "uncorrectable ECC error reading DRAM line " +
+                             std::to_string(line),
+                         static_cast<u32>(line), /*deliverable=*/false);
+          }
         }
         const u32 bit =
             plan_.flipped_bit(line, static_cast<u32>(out.size()) * 8);

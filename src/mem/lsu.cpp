@@ -1,6 +1,9 @@
 #include "src/mem/lsu.h"
 
 #include <algorithm>
+#include <string>
+
+#include "src/support/trap.h"
 
 namespace majc::mem {
 
@@ -27,6 +30,7 @@ CounterSet Lsu::counters() const {
       "prefetches_queued",
       "prefetches_dropped",
       "fill_parity_retries",
+      "fill_machine_checks",
   };
   CounterSet out;
   for (u32 i = 0; i < kNumLsuCounters; ++i) {
@@ -57,13 +61,26 @@ Cycle Lsu::fill_line(Addr addr, Cycle now) {
   const Cycle dram_done = dram_.request(line, cfg_.line_bytes, at_mem);
   // Return path for the line through the crossbar.
   Cycle done = xbar_.transfer(Port::kMem, port_, cfg_.line_bytes, dram_done);
-  if (plan_ != nullptr && plan_->fill_corrupted(line, fills_++)) {
-    // Parity-bad fill: discard and refetch from DRDRAM. Data stays correct
-    // (the backing store is the truth); the cost is purely timing.
-    bump(LsuCounter::kFillParityRetries);
-    const Cycle at2 = xbar_.transfer(port_, Port::kMem, 0, done);
-    done = xbar_.transfer(Port::kMem, port_, cfg_.line_bytes,
-                          dram_.request(line, cfg_.line_bytes, at2));
+  if (plan_ != nullptr) {
+    // Parity-bad fills are discarded and refetched from DRDRAM. Data stays
+    // correct (the backing store is the truth); the cost is purely timing —
+    // bounded: a line that keeps arriving bad becomes a machine check
+    // instead of spinning until the watchdog fires.
+    u32 attempts = 0;
+    while (plan_->fill_corrupted(line, fills_++)) {
+      if (attempts++ >= cfg_.faults.max_fill_retries) {
+        bump(LsuCounter::kFillMachineChecks);
+        raise_trap(TrapCause::kMachineCheck,
+                   "cache fill for line " + std::to_string(line) +
+                       " failed parity " + std::to_string(attempts) +
+                       " consecutive times",
+                   static_cast<u32>(line));
+      }
+      bump(LsuCounter::kFillParityRetries);
+      const Cycle at2 = xbar_.transfer(port_, Port::kMem, 0, done);
+      done = xbar_.transfer(Port::kMem, port_, cfg_.line_bytes,
+                            dram_.request(line, cfg_.line_bytes, at2));
+    }
   }
   return done;
 }

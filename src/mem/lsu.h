@@ -24,6 +24,11 @@
 #include "src/soc/config.h"
 #include "src/support/stats.h"
 
+namespace majc::ckpt {
+class Writer;
+class Reader;
+} // namespace majc::ckpt
+
 namespace majc::mem {
 
 /// LSU event counters as a fixed enum: the issue path runs once per memory
@@ -49,8 +54,9 @@ enum class LsuCounter : u8 {
   kPrefetchesQueued,
   kPrefetchesDropped,
   kFillParityRetries,
+  kFillMachineChecks,  // bounded-refetch exhaustion (machine check raised)
 };
-inline constexpr u32 kNumLsuCounters = 19;
+inline constexpr u32 kNumLsuCounters = 20;
 
 /// One long-latency LSU occurrence, reported to an installed observer so
 /// the trace layer can draw async miss/prefetch slices. Emitted only on the
@@ -94,6 +100,9 @@ public:
   void set_observer(std::function<void(const LsuTraceEvent&)> fn) {
     observer_ = std::move(fn);
   }
+
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
 
 private:
   struct StoreEntry {

@@ -1,5 +1,9 @@
 #include "src/mem/memsys.h"
 
+#include <string>
+
+#include "src/support/trap.h"
+
 namespace majc::mem {
 
 MemorySystem::MemorySystem(const TimingConfig& cfg)
@@ -34,8 +38,19 @@ Cycle MemorySystem::ifetch(u32 cpu, Addr addr, u32 bytes, Cycle now) {
       const Cycle at_mem = xbar_.transfer(port, Port::kMem, 0, now);
       const Cycle dram_done = dram_.request(line, cfg_.line_bytes, at_mem);
       Cycle fill = xbar_.transfer(Port::kMem, port, cfg_.line_bytes, dram_done);
-      if (plan_.fill_corrupted(line, ifetch_fills_++)) {
-        // Parity-bad I$ fill: refetch the line (timing-only fault).
+      // Parity-bad I$ fills are refetched (timing-only fault), bounded the
+      // same way as D$ fills: persistent corruption is a machine check, not
+      // a watchdog-bound livelock.
+      u32 attempts = 0;
+      while (plan_.fill_corrupted(line, ifetch_fills_++)) {
+        if (attempts++ >= cfg_.faults.max_fill_retries) {
+          ++ifetch_machine_checks_;
+          raise_trap(TrapCause::kMachineCheck,
+                     "instruction fetch fill for line " +
+                         std::to_string(line) + " failed parity " +
+                         std::to_string(attempts) + " consecutive times",
+                     static_cast<u32>(line));
+        }
         ++ifetch_parity_retries_;
         const Cycle at2 = xbar_.transfer(port, Port::kMem, 0, fill);
         fill = xbar_.transfer(Port::kMem, port, cfg_.line_bytes,
@@ -45,6 +60,11 @@ Cycle MemorySystem::ifetch(u32 cpu, Addr addr, u32 bytes, Cycle now) {
     }
   }
   return ready;
+}
+
+void MemorySystem::poison_line(Addr line) {
+  dcache_.invalidate(line);
+  for (auto& ic : icaches_) ic.invalidate(line);
 }
 
 void MemorySystem::reset_stats() {

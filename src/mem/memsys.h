@@ -15,6 +15,11 @@
 #include "src/mem/lsu.h"
 #include "src/soc/config.h"
 
+namespace majc::ckpt {
+class Writer;
+class Reader;
+} // namespace majc::ckpt
+
 namespace majc::mem {
 
 inline constexpr u32 kNumCpus = 2;
@@ -24,19 +29,32 @@ public:
   explicit MemorySystem(const TimingConfig& cfg);
 
   Lsu& lsu(u32 cpu) { return *lsus_[cpu]; }
+  const Lsu& lsu(u32 cpu) const { return *lsus_[cpu]; }
   Cache& dcache() { return dcache_; }
+  const Cache& dcache() const { return dcache_; }
   Cache& icache(u32 cpu) { return icaches_[cpu]; }
+  const Cache& icache(u32 cpu) const { return icaches_[cpu]; }
   Dram& dram() { return dram_; }
+  const Dram& dram() const { return dram_; }
   Crossbar& xbar() { return xbar_; }
+  const Crossbar& xbar() const { return xbar_; }
   const TimingConfig& config() const { return cfg_; }
   const FaultPlan& fault_plan() const { return plan_; }
   u64 ifetch_parity_retries() const { return ifetch_parity_retries_; }
+  u64 ifetch_machine_checks() const { return ifetch_machine_checks_; }
 
   /// Instruction fetch of `bytes` at `addr` for CPU `cpu`; returns the cycle
   /// the packet is available to the aligner.
   Cycle ifetch(u32 cpu, Addr addr, u32 bytes, Cycle now);
 
+  /// Drop every cached copy of `line` (D$ and both I$s) — the scrub step of
+  /// the machine-check poison/deliver recovery policies.
+  void poison_line(Addr line);
+
   void reset_stats();
+
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
 
 private:
   TimingConfig cfg_;
@@ -49,6 +67,7 @@ private:
   std::array<std::unique_ptr<Lsu>, kNumCpus> lsus_;
   u64 ifetch_fills_ = 0;
   u64 ifetch_parity_retries_ = 0;
+  u64 ifetch_machine_checks_ = 0;
 };
 
 } // namespace majc::mem

@@ -77,6 +77,11 @@ struct SlotEffects {
   bool is_call = false;
   bool is_jump = false;
   bool halt = false;
+  // Trap-unit side effects (FU0 only), committed with the packet so a
+  // trapping slot elsewhere in the packet leaves the trap state untouched.
+  bool set_tvec = false;  // SETTVEC: latch `tvec` below into CpuState::tvec
+  bool is_rett = false;   // RETT: clears CpuState::in_trap (jump via target)
+  Addr tvec = 0;
   Addr target = 0;
 };
 

@@ -240,6 +240,34 @@ void exec_control(const Instr& in, u32 fu, const CpuState& st, ExecEnv& env,
       fx.writes.push_back({isa::to_phys(in.rd, fu),
                            static_cast<u32>(env.tick ? *env.tick : 0)});
       break;
+    case Op::kSettvec:
+      fx.set_tvec = true;
+      fx.tvec = static_cast<Addr>(st.reads(in.rd, fu));
+      break;
+    case Op::kMftr: {
+      // Read a saved trap register; imm selects which (docs/ISA.md).
+      u32 v = 0;
+      switch (in.imm) {
+        case 0: v = st.tcause; break;
+        case 1: v = static_cast<u32>(st.tpc); break;
+        case 2: v = static_cast<u32>(st.tnpc); break;
+        case 3: v = st.tdetail; break;
+        case 4: v = static_cast<u32>(st.tvec); break;
+        default:
+          raise_trap(TrapCause::kIllegalInstruction,
+                     "mftr: selector " + std::to_string(in.imm) +
+                         " is not a trap register");
+      }
+      fx.writes.push_back({isa::to_phys(in.rd, fu), v});
+      break;
+    }
+    case Op::kRett:
+      // Return from trap: jump to rd (handlers pass tpc to retry the
+      // faulting packet or tnpc to skip it) and re-arm trap delivery.
+      fx.is_jump = true;
+      fx.is_rett = true;
+      fx.target = static_cast<Addr>(st.reads(in.rd, fu));
+      break;
     default:
       raise_trap(TrapCause::kIllegalInstruction,
                  "exec_control: unexpected opcode");
@@ -278,6 +306,8 @@ PacketOutcome execute_packet(CpuState& st, const isa::Packet& p,
   out.width = p.width;
   out.next_pc = env.fall_through;
   const SlotEffects& f0 = fx[0]; // only FU0 can branch or touch memory
+  if (f0.set_tvec) st.tvec = f0.tvec;
+  if (f0.is_rett) st.in_trap = false;
   out.mem = f0.mem;
   out.is_cond_branch = f0.is_cond_branch;
   out.branch_taken = f0.branch_taken;

@@ -53,8 +53,9 @@ std::string trap_report(const Trap& trap, const Program& prog,
   std::snprintf(buf, sizeof buf, " (code %u) ==\n",
                 static_cast<u32>(trap.code));
   out += buf;
-  std::snprintf(buf, sizeof buf, "  cpu %u  pc 0x%05llx  cycle %llu\n",
-                trap.cpu, static_cast<unsigned long long>(trap.pc),
+  std::snprintf(buf, sizeof buf, "  cpu %u  pc 0x%05llx  %s %llu\n", trap.cpu,
+                static_cast<unsigned long long>(trap.pc),
+                time_unit_name(trap.unit),
                 static_cast<unsigned long long>(trap.cycle));
   out += buf;
   out += "  detail: " + trap.detail + "\n";
@@ -116,6 +117,7 @@ RunResult FunctionalSim::run(u64 max_packets) {
       ++res.packets;
       ++packets_run_;
       res.instrs += out.width;
+      instrs_run_ += out.width;
       if (out.next_pc == m.fall_through) {
         idx = m.next_index;
       } else if (m.taken_index != kNoPacketIndex &&
@@ -125,12 +127,29 @@ RunResult FunctionalSim::run(u64 max_packets) {
         idx = kNoPacketIndex;
       }
     } catch (const TrapException& e) {
-      // Precise delivery: the faulting packet committed no register writes,
+      // Precise context: the faulting packet committed no register writes,
       // so state_.pc still names it.
-      res.trap = e.trap();
-      res.trap.cpu = 0;
-      res.trap.pc = state_.pc;
-      res.trap.cycle = packets_run_;
+      Trap t = e.trap();
+      t.cpu = 0;
+      t.pc = state_.pc;
+      t.cycle = packets_run_;
+      t.unit = TimeUnit::kPackets;
+      if (state_.can_deliver(t.deliverable)) {
+        // Deliver to the guest handler and keep running. tnpc is the
+        // faulting packet's fall-through so a handler can skip it; when the
+        // pc is not a packet boundary (kIllegalPacket) there is no
+        // fall-through and tnpc degenerates to tpc.
+        const u32 fidx = program_.find_index(state_.pc);
+        const Addr npc = fidx == kNoPacketIndex
+                             ? state_.pc
+                             : program_.meta(fidx).fall_through;
+        state_.deliver_trap(static_cast<u32>(t.code), t.pc, npc, t.value);
+        ++traps_delivered_;
+        last_trap_ = std::move(t);
+        idx = kNoPacketIndex;
+        continue;
+      }
+      res.trap = std::move(t);
       res.reason = TerminationReason::kTrap;
       return res;
     }

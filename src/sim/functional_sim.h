@@ -16,6 +16,11 @@
 #include "src/sim/predecode.h"
 #include "src/support/trap.h"
 
+namespace majc::ckpt {
+class Writer;
+class Reader;
+} // namespace majc::ckpt
+
 namespace majc::sim {
 
 /// Pre-decoded code image. Packets are addressable only at their start; a
@@ -79,10 +84,21 @@ public:
   RunResult run(u64 max_packets = 100'000'000);
 
   CpuState& state() { return state_; }
+  const CpuState& state() const { return state_; }
   FlatMemory& memory() { return mem_; }
+  const FlatMemory& memory() const { return mem_; }
   const Program& program() const { return program_; }
   /// Output accumulated from TRAP (print) instructions.
   const std::string& console() const { return console_; }
+
+  /// Cumulative totals across every run() call (a restored run reports
+  /// from-original-start numbers through these, not per-call deltas).
+  u64 packets_run() const { return packets_run_; }
+  u64 instrs_run() const { return instrs_run_; }
+
+  /// Traps delivered to a guest handler (SETTVEC) instead of ending the run.
+  u64 traps_delivered() const { return traps_delivered_; }
+  const Trap& last_delivered_trap() const { return last_trap_; }
 
   /// Arm the integer divide-by-zero trap (default: div/0 yields 0).
   void set_trap_div_zero(bool on) { trap_div_zero_ = on; }
@@ -91,12 +107,18 @@ public:
   /// functional and timed runs produce identical console text.
   static void format_trap(std::string& out, u32 code, u32 value);
 
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+
 private:
   Program program_;
   FlatMemory mem_;
   CpuState state_;
   std::string console_;
   u64 packets_run_ = 0;
+  u64 instrs_run_ = 0;
+  u64 traps_delivered_ = 0;
+  Trap last_trap_;
   bool trap_div_zero_ = false;
 };
 

@@ -48,6 +48,7 @@ public:
 
   std::size_t size() const { return bytes_.size(); }
   std::span<u8> raw() { return bytes_; }
+  std::span<const u8> raw() const { return bytes_; }
 
 private:
   std::vector<u8> bytes_;

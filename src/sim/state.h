@@ -13,6 +13,36 @@ struct CpuState {
   Addr pc = 0;
   bool halted = false;
 
+  // Architected trap unit (docs/ISA.md "Trap vector and resumable traps").
+  // tvec == 0 means "no handler installed": traps terminate the run as they
+  // did before SETTVEC existed. The saved registers are readable from guest
+  // code via MFTR and restored control flow via RETT.
+  Addr tvec = 0;    // trap-vector base (SETTVEC)
+  u32 tcause = 0;   // saved cause code (TrapCause as u32)
+  Addr tpc = 0;     // pc of the faulting packet
+  Addr tnpc = 0;    // fall-through pc of the faulting packet (RETT target
+                    // for skip-and-continue handlers; RETT jumps to rs1, so
+                    // retry handlers jump to tpc instead)
+  u32 tdetail = 0;  // cause-specific detail word (Trap::value)
+  bool in_trap = false;  // set on delivery, cleared by RETT; a trap taken
+                         // while set is a double fault and stays fatal
+
+  /// Can a trap with the given deliverability reach the guest handler?
+  bool can_deliver(bool deliverable) const {
+    return deliverable && tvec != 0 && !in_trap;
+  }
+
+  /// Deliver: latch cause/pc/detail, enter the handler. `cause` is a
+  /// TrapCause passed as u32 to keep this header free of trap.h.
+  void deliver_trap(u32 cause, Addr fault_pc, Addr fault_npc, u32 detail) {
+    tcause = cause;
+    tpc = fault_pc;
+    tnpc = fault_npc;
+    tdetail = detail;
+    in_trap = true;
+    pc = tvec;
+  }
+
   /// Physical-register read; g0 is hardwired zero.
   u32 read(isa::PhysReg r) const { return r == 0 ? 0 : regs[r]; }
   void write(isa::PhysReg r, u32 v) {

@@ -15,6 +15,7 @@ Majc5200::Majc5200(masm::Image image, const TimingConfig& cfg,
       nupa_(ms_, mem_),
       supa_(ms_, mem_, mem::Port::kSupa),
       pci_(ms_, mem_, mem::Port::kPci) {
+  eccmem_.set_poison_hook([&ms = ms_](Addr line) { ms.poison_line(line); });
   sim::load_image(prog_.image(), mem_);
   for (u32 i = 0; i < kNumCpus; ++i) {
     cpus_[i] = std::make_unique<cpu::CycleCpu>(prog_, eccmem_, ms_, i);

@@ -46,14 +46,21 @@ public:
   void set_entry(u32 cpu, const std::string& symbol);
 
   cpu::CycleCpu& cpu(u32 i) { return *cpus_[i]; }
+  const cpu::CycleCpu& cpu(u32 i) const { return *cpus_[i]; }
   mem::MemorySystem& memsys() { return ms_; }
+  const mem::MemorySystem& memsys() const { return ms_; }
   sim::FlatMemory& memory() { return mem_; }
+  const sim::FlatMemory& memory() const { return mem_; }
   mem::EccMemory& ecc() { return eccmem_; }
+  const mem::EccMemory& ecc() const { return eccmem_; }
   const sim::Program& program() const { return prog_; }
   Dte& dte() { return dte_; }
   NupaPort& nupa() { return nupa_; }
   IoPort& supa() { return supa_; }
   IoPort& pci() { return pci_; }
+
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
 
 private:
   /// Multi-line state dump of both CPUs (pc, cycle, progress, packet counts)

@@ -68,6 +68,10 @@ struct TimingConfig {
   // Raise a kDivideByZero trap instead of the default total-divide
   // semantics (div/0 = 0); off by default to match the paper-era contract.
   bool trap_div_zero = false;
+  // Cycles to redirect into the trap handler when a trap is delivered to a
+  // guest SETTVEC vector (front-end refill through the T stage; mirrors the
+  // mispredict/jump redirect cost plus pipeline drain).
+  u32 trap_entry_penalty = 6;
   // Cache ways taken out of service (a "failed" way degrades capacity
   // instead of crashing); clamped to ways - 1.
   u32 dcache_disabled_ways = 0;

@@ -14,6 +14,11 @@
 #include "src/mem/memsys.h"
 #include "src/sim/memory.h"
 
+namespace majc::ckpt {
+class Writer;
+class Reader;
+} // namespace majc::ckpt
+
 namespace majc::soc {
 
 class Dte {
@@ -48,6 +53,9 @@ public:
       std::function<void(const Descriptor&, Cycle start, Cycle done)> fn) {
     observer_ = std::move(fn);
   }
+
+  void save(ckpt::Writer& w) const;   // defined in support/checkpoint.cpp
+  void restore(ckpt::Reader& r);
 
 private:
   void flush_range(Addr base, u32 bytes, bool writeback);

@@ -16,6 +16,11 @@
 #include "src/mem/memsys.h"
 #include "src/sim/memory.h"
 
+namespace majc::ckpt {
+class Writer;
+class Reader;
+} // namespace majc::ckpt
+
 namespace majc::soc {
 
 /// Bounded byte FIFO with timing: the NUPA input buffer (4 KB).
@@ -32,6 +37,9 @@ public:
   u32 pop(std::span<u8> out);
 
   u64 total_pushed() const { return pushed_; }
+
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
 
 private:
   u32 capacity_;
@@ -62,6 +70,9 @@ public:
   u64 bytes_in() const { return bytes_in_; }
   u64 bytes_out() const { return bytes_out_; }
 
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+
 private:
   Cycle move(Addr mem_addr, u32 bytes, bool inbound, Cycle now);
 
@@ -82,6 +93,7 @@ public:
         line_rate_(ms.config().upa_bytes_per_cycle) {}
 
   Fifo& fifo() { return fifo_; }
+  const Fifo& fifo() const { return fifo_; }
 
   /// External producer pushes into the FIFO; returns the cycle the last
   /// byte is accepted (backpressure when full is the caller's concern via

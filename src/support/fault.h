@@ -21,6 +21,29 @@
 
 namespace majc {
 
+/// What EccMemory does with an uncorrectable DRAM error (docs/DESIGN.md §8).
+enum class MachineCheckPolicy : u8 {
+  kFatal = 0,   // raise a non-deliverable machine check: run terminates
+                // even if the guest installed a trap handler (PR 1 behavior)
+  kRetry = 1,   // re-read: the transient double-bit flip is absent on the
+                // retry; counted, the line stays fault-prone
+  kPoison = 2,  // scrub the line (rewrite from the architected backing
+                // value), invalidate cached copies, count it; subsequent
+                // reads are clean
+  kDeliver = 3, // raise a deliverable machine check so the guest handler
+                // (SETTVEC) decides; fatal if no handler is installed
+};
+
+constexpr const char* machine_check_policy_name(MachineCheckPolicy p) {
+  switch (p) {
+    case MachineCheckPolicy::kFatal: return "fatal";
+    case MachineCheckPolicy::kRetry: return "retry";
+    case MachineCheckPolicy::kPoison: return "poison";
+    case MachineCheckPolicy::kDeliver: return "deliver";
+  }
+  return "?";
+}
+
 struct FaultConfig {
   u64 seed = 0x4d414a43;  // "MAJC"
 
@@ -28,9 +51,13 @@ struct FaultConfig {
   double dram_correctable_rate = 0.0;    // single-bit: SEC-DED corrects
   double dram_uncorrectable_rate = 0.0;  // double-bit: machine check
   bool ecc_enabled = true;  // false: faults silently corrupt read data
+  MachineCheckPolicy mc_policy = MachineCheckPolicy::kFatal;
 
   // Cache fill corruption (I$ and D$), decided per individual fill.
   double fill_parity_rate = 0.0;
+  // A fill is refetched up to this many times; exceeding it raises a
+  // machine check instead of spinning until the watchdog fires.
+  u32 max_fill_retries = 8;
 
   // Crossbar grant faults, decided per transfer.
   double xbar_delay_rate = 0.0;

@@ -7,6 +7,11 @@
 
 #include "src/support/types.h"
 
+namespace majc::ckpt {
+class Writer;
+class Reader;
+} // namespace majc::ckpt
+
 namespace majc {
 
 /// Named 64-bit counters with stable iteration order for reporting.
@@ -40,6 +45,9 @@ public:
   std::size_t size() const { return buckets_.size(); }
   u64 total() const;
   double mean() const;
+
+  void save(ckpt::Writer& w) const;   // defined in support/checkpoint.cpp
+  void restore(ckpt::Reader& r);
 
 private:
   std::vector<u64> buckets_;

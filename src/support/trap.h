@@ -46,15 +46,39 @@ constexpr const char* trap_cause_name(TrapCause c) {
   return "?";
 }
 
-/// One delivered trap. `code` and `detail` are filled at the raising site;
-/// `cpu`, `pc` and `cycle` are filled by the run loop that catches it (the
-/// raising site is too deep to know which CPU/thread it executes on).
+/// Unit of Trap::time. The functional simulator has no clock, so it stamps
+/// traps with the retired-packet count; the cycle-accurate models stamp the
+/// issue cycle. One field, one explicit tag — consumers (stats JSON, trap
+/// reports) no longer have to know which simulator produced the trap.
+enum class TimeUnit : u8 {
+  kPackets = 0,  // instruction-accurate runs: retired packets
+  kCycles = 1,   // cycle-accurate runs: core clock cycles
+};
+
+constexpr const char* time_unit_name(TimeUnit u) {
+  switch (u) {
+    case TimeUnit::kPackets: return "packets";
+    case TimeUnit::kCycles: return "cycles";
+  }
+  return "?";
+}
+
+/// One trap. `code`, `detail` and `value` are filled at the raising site;
+/// `cpu`, `pc`, `cycle` and `unit` are filled by the run loop that catches
+/// it (the raising site is too deep to know which CPU/thread it executes
+/// on, or what the time base is).
 struct Trap {
   TrapCause code = TrapCause::kNone;
   u32 cpu = 0;
   Addr pc = 0;
-  Cycle cycle = 0;  // packet count in the functional sim, cycle otherwise
-  std::string detail;
+  Cycle cycle = 0;             // in `unit` units (see TimeUnit)
+  TimeUnit unit = TimeUnit::kCycles;
+  std::string detail;          // human-readable diagnosis
+  u32 value = 0;               // cause-specific detail word (faulting address
+                               // / line); delivered to the guest via MFTR 3
+  /// False only for machine checks under MachineCheckPolicy::kFatal: the run
+  /// terminates even when the guest has installed a trap handler.
+  bool deliverable = true;
 
   bool valid() const { return code != TrapCause::kNone; }
 };
@@ -73,10 +97,13 @@ private:
   Trap trap_;
 };
 
-[[noreturn]] inline void raise_trap(TrapCause code, std::string detail) {
+[[noreturn]] inline void raise_trap(TrapCause code, std::string detail,
+                                    u32 value = 0, bool deliverable = true) {
   Trap t;
   t.code = code;
   t.detail = std::move(detail);
+  t.value = value;
+  t.deliverable = deliverable;
   throw TrapException(std::move(t));
 }
 
