@@ -20,10 +20,22 @@
 #include <vector>
 
 #include "src/cpu/cycle_cpu.h"
+#include "src/farm/farm.h"
+#include "src/kernels/biquad.h"
+#include "src/kernels/bitrev.h"
+#include "src/kernels/cfir.h"
+#include "src/kernels/color_convert.h"
+#include "src/kernels/convolve.h"
+#include "src/kernels/dct_quant.h"
+#include "src/kernels/fft.h"
 #include "src/kernels/fir.h"
 #include "src/kernels/idct.h"
 #include "src/kernels/kernel.h"
+#include "src/kernels/lms.h"
+#include "src/kernels/max_search.h"
 #include "src/kernels/mb_decode.h"
+#include "src/kernels/motion_est.h"
+#include "src/kernels/vld.h"
 #include "src/masm/assembler.h"
 #include "src/sim/functional_sim.h"
 #include "src/soc/chip.h"
@@ -157,6 +169,44 @@ Sample run_chip(const masm::Image& img) {
   return s;
 }
 
+/// Aggregate farm throughput: one rep = a fault-free cycle-mode campaign of
+/// all 16 Table 1/2 kernels on the farm engine at host hardware concurrency.
+/// The engine (compiled kernels, shared predecode) is built once by the
+/// caller and kept off the clock, mirroring how sim construction is excluded
+/// above; the engine's own wall measurement is the sample time.
+farm::Engine make_farm_soak16() {
+  using namespace kernels;
+  farm::Engine eng;
+  eng.add_kernel(make_biquad_spec());
+  eng.add_kernel(make_fir_spec());
+  eng.add_kernel(make_iir_spec());
+  eng.add_kernel(make_cfir_spec());
+  eng.add_kernel(make_lms_spec());
+  eng.add_kernel(make_max_search_spec());
+  eng.add_kernel(make_bitrev_spec());
+  eng.add_kernel(make_fft_radix2_spec());
+  eng.add_kernel(make_fft_radix4_spec());
+  eng.add_kernel(make_idct_spec());
+  eng.add_kernel(make_dct_quant_spec());
+  eng.add_kernel(make_vld_spec());
+  eng.add_kernel(make_motion_est_spec());
+  eng.add_kernel(make_mb_decode_spec());
+  eng.add_kernel(make_convolve_spec());
+  eng.add_kernel(make_color_convert_spec());
+  for (u32 ki = 0; ki < eng.num_kernels(); ++ki) {
+    farm::Job job;
+    job.kernel = ki;
+    eng.submit(job);
+  }
+  return eng;
+}
+
+Sample run_farm(const farm::Engine& eng) {
+  farm::CampaignStats stats;
+  (void)eng.run(/*workers=*/0, &stats);
+  return {stats.total_packets, stats.total_instrs, stats.wall_secs};
+}
+
 void write_json(const std::string& path, const std::vector<Result>& results,
                 double min_secs) {
   std::ofstream os(path, std::ios::binary);
@@ -261,6 +311,11 @@ int main(int argc, char** argv) {
     const masm::Image img = masm::assemble_or_throw(sop_program());
     results.push_back(measure("dual_sop/chip", min_secs,
                               [&] { return run_chip(img); }));
+  }
+  {
+    const farm::Engine eng = make_farm_soak16();
+    results.push_back(measure("farm/soak16", min_secs,
+                              [&] { return run_farm(eng); }));
   }
 
   std::printf("%-24s %16s %10s %12s %6s\n", "workload", "packets/s", "MIPS",

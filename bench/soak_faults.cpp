@@ -14,6 +14,13 @@
 //   $ ./soak_faults                      # default: 2 iterations per kernel
 //   $ ./soak_faults --runs=4 --seed=7    # longer storm, different stream
 //   $ ./soak_faults --json=soak.json     # machine-readable results
+//   $ ./soak_faults --jobs=1             # serial (default: all host cores)
+//
+// The storm runs on the farm engine (src/farm/): kernels are assembled and
+// predecoded once, workers reuse per-thread machine arenas, and results
+// aggregate in submission order — so stdout, the majc-soak-v1 JSON and the
+// golden-equal assertions are byte-identical for any --jobs value (and
+// unchanged from the pre-farm serial harness).
 //
 // Exit status: 0 when every run validated and halted, 1 otherwise.
 #include <cstdio>
@@ -25,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "src/farm/farm.h"
 #include "src/kernels/biquad.h"
 #include "src/kernels/bitrev.h"
 #include "src/kernels/cfir.h"
@@ -47,40 +55,6 @@ using namespace majc;
 namespace {
 
 constexpr const char* kSoakSchema = "majc-soak-v1";
-
-u64 splitmix64(u64& x) {
-  x += 0x9e3779b97f4a7c15ull;
-  u64 z = x;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
-
-double u01(u64& x) {
-  return static_cast<double>(splitmix64(x) >> 11) * 0x1.0p-53;
-}
-
-/// Randomized-but-bounded fault rates: high enough that every fault class
-/// fires on real kernels, low enough that recovery (not the fault storm)
-/// dominates the run.
-FaultConfig derive_faults(u64 base_seed, u64 kernel_idx, u64 iteration) {
-  u64 s = base_seed ^ (kernel_idx * 0x9e3779b97f4a7c15ull) ^
-          (iteration << 32);
-  FaultConfig f;
-  f.seed = splitmix64(s);
-  f.dram_correctable_rate = u01(s) * 0.1;
-  f.dram_uncorrectable_rate = u01(s) * 0.02;
-  f.fill_parity_rate = u01(s) * 0.05;
-  f.xbar_delay_rate = u01(s) * 0.1;
-  f.xbar_delay_cycles = 1 + static_cast<u32>(splitmix64(s) % 16);
-  f.xbar_drop_rate = u01(s) * 0.02;
-  f.ecc_enabled = true;
-  // Both recoverable machine-check policies get coverage; kFatal/kDeliver
-  // would terminate these handler-less kernels on the first double-bit hit.
-  f.mc_policy = iteration % 2 == 0 ? MachineCheckPolicy::kRetry
-                                   : MachineCheckPolicy::kPoison;
-  return f;
-}
 
 struct NamedKernel {
   const char* name;
@@ -190,6 +164,7 @@ void write_json(std::ostream& os, u64 seed, u64 runs_per_kernel,
 int main(int argc, char** argv) {
   u64 seed = 0x5eed50a4;  // default stream; override with --seed
   u64 runs_per_kernel = 2;
+  unsigned jobs = 0;  // 0 = host hardware concurrency
   const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -197,24 +172,54 @@ int main(int argc, char** argv) {
       seed = std::strtoull(a + 7, nullptr, 0);
     } else if (std::strncmp(a, "--runs=", 7) == 0) {
       runs_per_kernel = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(a + 7, nullptr, 10));
+    } else if (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0') {
+      jobs = static_cast<unsigned>(std::strtoul(a + 2, nullptr, 10));
     } else if (std::strncmp(a, "--json=", 7) == 0) {
       json_path = a + 7;
     } else {
       std::fprintf(stderr,
-                   "usage: soak_faults [--seed=S] [--runs=N] [--json=FILE]\n");
+                   "usage: soak_faults [--seed=S] [--runs=N] [--jobs=N] "
+                   "[--json=FILE]\n");
       return 2;
     }
   }
 
+  // Compile every kernel once (shared predecode), then submit the whole
+  // storm — golden run + fault runs per kernel — as one campaign. Job
+  // layout per kernel ki: index ki*(1+R) is the fault-free golden run,
+  // ki*(1+R)+1+it is fault iteration `it`.
   const std::vector<NamedKernel> kernels_in = table12_kernels();
+  farm::Engine eng;
+  for (const NamedKernel& nk : kernels_in) {
+    eng.add_kernel(nk.make());
+  }
+  const u64 per_kernel = 1 + runs_per_kernel;
+  for (u32 ki = 0; ki < eng.num_kernels(); ++ki) {
+    farm::Job golden;
+    golden.kernel = ki;
+    eng.submit(golden);
+    for (u64 it = 0; it < runs_per_kernel; ++it) {
+      farm::Job job;
+      job.kernel = ki;
+      job.iteration = it;
+      job.cfg.faults = farm::derive_soak_faults(seed, ki, it);
+      eng.submit(job);
+    }
+  }
+
+  const std::vector<farm::JobResult> raw = eng.run(jobs);
+
+  // Re-assemble the per-kernel view in submission order; the report below
+  // is byte-identical to the original serial harness for any --jobs value.
   std::vector<SoakKernel> results;
   u64 failures = 0;
-
   for (std::size_t ki = 0; ki < kernels_in.size(); ++ki) {
     const NamedKernel& nk = kernels_in[ki];
     SoakKernel out;
     out.name = nk.name;
-    out.golden = kernels::run_kernel(nk.make());
+    out.golden = raw[ki * per_kernel].run;
     if (!out.golden.valid) {
       std::fprintf(stderr, "%-14s GOLDEN RUN INVALID: %s\n", nk.name,
                    out.golden.message.c_str());
@@ -223,10 +228,8 @@ int main(int argc, char** argv) {
     for (u64 it = 0; it < runs_per_kernel; ++it) {
       SoakRun sr;
       sr.iteration = it;
-      sr.faults = derive_faults(seed, ki, it);
-      TimingConfig cfg;
-      cfg.faults = sr.faults;
-      sr.run = kernels::run_kernel(nk.make(), cfg);
+      sr.faults = farm::derive_soak_faults(seed, ki, it);
+      sr.run = raw[ki * per_kernel + 1 + it].run;
       // Recovery must be invisible to architecture: the faulty run halts
       // and its outputs match the golden model exactly. Timing is allowed
       // (expected) to differ — that is the cost of recovery.

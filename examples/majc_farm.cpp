@@ -1,0 +1,220 @@
+// majc_farm: deterministic parallel campaign runner.
+//
+// Executes a matrix of (kernel x sim-mode x fault-seed) jobs across host
+// threads via the farm engine (src/farm/): each kernel is assembled and
+// predecoded once and shared read-only by every worker, each worker reuses
+// one resettable machine arena, and results aggregate in submission order —
+// so the majc-farm-v1 JSON is byte-identical for any --jobs value.
+//
+//   $ ./majc_farm -j8                        # 16 kernels x 4 fault seeds
+//   $ ./majc_farm -j1 --json=a.json
+//   $ ./majc_farm -j8 --json=b.json          # cmp a.json b.json: identical
+//   $ ./majc_farm --kernels=fir,idct --seeds=2 --mode=both
+//   $ ./majc_farm --no-faults                # clean timing sweep instead
+//
+// Exit status: 0 when every job validated and halted, 1 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/farm/campaign.h"
+#include "src/farm/farm.h"
+#include "src/kernels/biquad.h"
+#include "src/kernels/bitrev.h"
+#include "src/kernels/cfir.h"
+#include "src/kernels/color_convert.h"
+#include "src/kernels/convolve.h"
+#include "src/kernels/dct_quant.h"
+#include "src/kernels/fft.h"
+#include "src/kernels/fir.h"
+#include "src/kernels/idct.h"
+#include "src/kernels/kernel.h"
+#include "src/kernels/lms.h"
+#include "src/kernels/max_search.h"
+#include "src/kernels/mb_decode.h"
+#include "src/kernels/motion_est.h"
+#include "src/kernels/vld.h"
+
+using namespace majc;
+
+namespace {
+
+struct NamedKernel {
+  const char* name;
+  kernels::KernelSpec (*make)();
+};
+
+/// The 16 Table 1/2 kernels, in the canonical sweep order.
+std::vector<NamedKernel> table12_kernels() {
+  using namespace kernels;
+  return {
+      {"biquad", [] { return make_biquad_spec(); }},
+      {"fir", [] { return make_fir_spec(); }},
+      {"iir", [] { return make_iir_spec(); }},
+      {"cfir", [] { return make_cfir_spec(); }},
+      {"lms", [] { return make_lms_spec(); }},
+      {"max_search", [] { return make_max_search_spec(); }},
+      {"bitrev", [] { return make_bitrev_spec(); }},
+      {"fft_radix2", [] { return make_fft_radix2_spec(); }},
+      {"fft_radix4", [] { return make_fft_radix4_spec(); }},
+      {"idct", [] { return make_idct_spec(); }},
+      {"dct_quant", [] { return make_dct_quant_spec(); }},
+      {"vld", [] { return make_vld_spec(); }},
+      {"motion_est", [] { return make_motion_est_spec(); }},
+      {"mb_decode", [] { return make_mb_decode_spec(); }},
+      {"convolve", [] { return make_convolve_spec(); }},
+      {"color_convert", [] { return make_color_convert_spec(); }},
+  };
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: majc_farm [-jN | --jobs=N] [--kernels=a,b,...] [--seeds=N]\n"
+      "                 [--seed=BASE] [--mode=cycle|functional|both]\n"
+      "                 [--no-faults] [--json=FILE] [--quiet]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  unsigned jobs = 0;  // 0 = hardware concurrency
+  u64 base_seed = 0x5eed50a4;
+  u64 seeds = 4;
+  bool faults = true;
+  bool quiet = false;
+  bool mode_cycle = true, mode_functional = false;
+  std::string kernels_csv;
+  const char* json_path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(a.c_str() + 7, nullptr, 10));
+    } else if (a.size() > 2 && a[0] == '-' && a[1] == 'j') {
+      jobs = static_cast<unsigned>(std::strtoul(a.c_str() + 2, nullptr, 10));
+    } else if (a.rfind("--seed=", 0) == 0) {
+      base_seed = std::strtoull(a.c_str() + 7, nullptr, 0);
+    } else if (a.rfind("--seeds=", 0) == 0) {
+      seeds = std::strtoull(a.c_str() + 8, nullptr, 10);
+    } else if (a.rfind("--kernels=", 0) == 0) {
+      kernels_csv = a.substr(10);
+    } else if (a.rfind("--mode=", 0) == 0) {
+      const std::string m = a.substr(7);
+      mode_cycle = m == "cycle" || m == "both";
+      mode_functional = m == "functional" || m == "both";
+      if (!mode_cycle && !mode_functional) return usage();
+    } else if (a == "--no-faults") {
+      faults = false;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a.rfind("--json=", 0) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      return usage();
+    }
+  }
+
+  // Select + compile kernels (once; shared by every worker).
+  const std::vector<NamedKernel> all = table12_kernels();
+  std::vector<NamedKernel> selected;
+  if (kernels_csv.empty()) {
+    selected = all;
+  } else {
+    for (const std::string& want : split_csv(kernels_csv)) {
+      bool found = false;
+      for (const NamedKernel& nk : all) {
+        if (want == nk.name) {
+          selected.push_back(nk);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "majc_farm: unknown kernel '%s'\n", want.c_str());
+        return 2;
+      }
+    }
+  }
+
+  farm::Engine eng;
+  for (const NamedKernel& nk : selected) {
+    kernels::KernelSpec spec = nk.make();
+    spec.name = nk.name;  // canonical sweep name, not the spec's size-tag
+    eng.add_kernel(std::move(spec));
+  }
+
+  // Submit the matrix: kernel-major, then iteration, then mode — a fixed
+  // submission order is what makes the campaign JSON reproducible.
+  for (u32 ki = 0; ki < eng.num_kernels(); ++ki) {
+    for (u64 it = 0; it < seeds; ++it) {
+      farm::Job job;
+      job.kernel = ki;
+      job.iteration = it;
+      if (faults) {
+        job.cfg.faults = farm::derive_soak_faults(base_seed, ki, it);
+      }
+      if (mode_cycle) {
+        job.mode = farm::SimMode::kCycle;
+        eng.submit(job);
+      }
+      if (mode_functional) {
+        job.mode = farm::SimMode::kFunctional;
+        eng.submit(job);
+      }
+    }
+  }
+
+  farm::CampaignStats stats;
+  const std::vector<farm::JobResult> results = eng.run(jobs, &stats);
+
+  u64 failures = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const farm::Job& job = eng.jobs()[i];
+    const kernels::KernelRun& r = results[i].run;
+    const bool ok = r.valid && r.halted;
+    if (!ok) ++failures;
+    if (!quiet || !ok) {
+      std::printf("%-14s %-10s it=%llu %s  cycles %llu  digest %016llx%s%s\n",
+                  eng.kernel(job.kernel).spec.name.c_str(),
+                  farm::sim_mode_name(job.mode),
+                  static_cast<unsigned long long>(job.iteration),
+                  ok ? "ok " : "FAIL",
+                  static_cast<unsigned long long>(r.total_cycles),
+                  static_cast<unsigned long long>(r.arch_digest),
+                  r.message.empty() ? "" : "  ", r.message.c_str());
+    }
+  }
+
+  if (json_path != nullptr) {
+    std::ofstream os(json_path, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "majc_farm: cannot write %s\n", json_path);
+      return 2;
+    }
+    farm::write_campaign_json(os, eng, results, base_seed);
+  }
+
+  std::printf(
+      "farm: %zu jobs on %u workers in %.2fs  |  %.0f packets/s  %.2f MIPS  "
+      "|  %llu failure(s)\n",
+      results.size(), stats.workers, stats.wall_secs, stats.aggregate_pps,
+      stats.aggregate_mips, static_cast<unsigned long long>(failures));
+  return failures == 0 ? 0 : 1;
+}

@@ -302,13 +302,20 @@ void CycleCpu::step_impl() {
 
 CycleSim::CycleSim(masm::Image image, const TimingConfig& cfg,
                    std::size_t mem_bytes)
-    : prog_(std::move(image)),
-      mem_(mem_bytes),
-      ms_(cfg),
-      eccmem_(mem_, ms_.fault_plan()) {
-  eccmem_.set_poison_hook([&ms = ms_](Addr line) { ms.poison_line(line); });
-  sim::load_image(prog_.image(), mem_);
-  cpu_ = std::make_unique<CycleCpu>(prog_, eccmem_, ms_, /*cpu_id=*/0);
+    : CycleSim(sim::make_program(std::move(image)), cfg, mem_bytes) {}
+
+CycleSim::CycleSim(sim::ProgramRef program, const TimingConfig& cfg,
+                   std::size_t mem_bytes)
+    : prog_(std::move(program)), mem_(mem_bytes) {
+  init(cfg);
+}
+
+void CycleSim::init(const TimingConfig& cfg) {
+  ms_.emplace(cfg);
+  eccmem_.emplace(mem_, ms_->fault_plan());
+  eccmem_->set_poison_hook([this](Addr line) { ms_->poison_line(line); });
+  sim::load_image(prog_->image(), mem_);
+  cpu_ = std::make_unique<CycleCpu>(*prog_, *eccmem_, *ms_, /*cpu_id=*/0);
   for (u32 t = 0; t < cpu_->hw_threads(); ++t) {
     // Distinct stacks per hardware thread, 64 KB apart below the top.
     cpu_->state(t).regs[2] =
@@ -316,9 +323,20 @@ CycleSim::CycleSim(masm::Image image, const TimingConfig& cfg,
   }
 }
 
+void CycleSim::reset(sim::ProgramRef program, const TimingConfig& cfg) {
+  if (program) prog_ = std::move(program);
+  // Reuse the arena: re-zero it instead of reallocating 32 MB of fresh
+  // pages per job, then rebuild the machine around it. Everything except
+  // the arena's allocation is reconstructed, so a reset machine reproduces
+  // a fresh machine's run bit-for-bit (tests/test_farm.cpp asserts this).
+  auto raw = mem_.raw();
+  std::fill(raw.begin(), raw.end(), u8{0});
+  init(cfg);
+}
+
 CycleSim::Result CycleSim::run(u64 max_packets) {
   Result res;
-  const u64 wd = ms_.config().watchdog_cycles;
+  const u64 wd = ms_->config().watchdog_cycles;
   bool watchdog_fired = false;
   while (!cpu_->halted() && cpu_->stats().packets < max_packets) {
     cpu_->step();

@@ -210,6 +210,17 @@ class CycleSim {
 public:
   explicit CycleSim(masm::Image image, const TimingConfig& cfg = {},
                     std::size_t mem_bytes = sim::FlatMemory::kDefaultBytes);
+  /// Share a predecoded program instead of assembling a private copy (the
+  /// farm engine predecodes each image once for all workers).
+  explicit CycleSim(sim::ProgramRef program, const TimingConfig& cfg = {},
+                    std::size_t mem_bytes = sim::FlatMemory::kDefaultBytes);
+
+  /// Reinitialize in place for a fresh run — optionally of a different
+  /// program and timing config — reusing the memory arena instead of
+  /// reallocating it. A reset machine is indistinguishable from a newly
+  /// constructed one: caches, LSU, branch predictor, fault streams and
+  /// statistics all restart from their constructed state.
+  void reset(sim::ProgramRef program, const TimingConfig& cfg);
 
   struct Result {
     Cycle cycles = 0;
@@ -229,23 +240,29 @@ public:
 
   CycleCpu& cpu() { return *cpu_; }
   const CycleCpu& cpu() const { return *cpu_; }
-  mem::MemorySystem& memsys() { return ms_; }
-  const mem::MemorySystem& memsys() const { return ms_; }
+  mem::MemorySystem& memsys() { return *ms_; }
+  const mem::MemorySystem& memsys() const { return *ms_; }
   sim::FlatMemory& memory() { return mem_; }
   const sim::FlatMemory& memory() const { return mem_; }
-  mem::EccMemory& ecc() { return eccmem_; }
-  const mem::EccMemory& ecc() const { return eccmem_; }
-  const sim::Program& program() const { return prog_; }
+  mem::EccMemory& ecc() { return *eccmem_; }
+  const mem::EccMemory& ecc() const { return *eccmem_; }
+  const sim::Program& program() const { return *prog_; }
   const std::string& console() const { return cpu_->console(); }
 
   void save(ckpt::Writer& w) const;
   void restore(ckpt::Reader& r);
 
 private:
-  sim::Program prog_;
+  /// (Re)build everything downstream of the arena: memory contents, memory
+  /// system, ECC decoration, CPU. Shared by the constructor and reset().
+  void init(const TimingConfig& cfg);
+
+  sim::ProgramRef prog_;
   sim::FlatMemory mem_;
-  mem::MemorySystem ms_;
-  mem::EccMemory eccmem_;
+  // optional so reset() can reconstruct in place (machine reuse); engaged
+  // for the whole life of the object after construction.
+  std::optional<mem::MemorySystem> ms_;
+  std::optional<mem::EccMemory> eccmem_;
   std::unique_ptr<CycleCpu> cpu_;
 };
 

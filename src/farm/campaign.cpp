@@ -1,0 +1,78 @@
+#include "src/farm/campaign.h"
+
+#include <sstream>
+
+#include "src/trace/json.h"
+
+namespace majc::farm {
+namespace {
+
+void write_recovery(trace::JsonWriter& j,
+                    const kernels::KernelRun::Recovery& r) {
+  j.key("recovery").begin_object();
+  j.kv("ecc_corrected", r.ecc_corrected);
+  j.kv("ecc_retried", r.ecc_retried);
+  j.kv("ecc_poisoned", r.ecc_poisoned);
+  j.kv("machine_checks", r.machine_checks);
+  j.kv("fill_parity_retries", r.fill_parity_retries);
+  j.kv("fill_machine_checks", r.fill_machine_checks);
+  j.kv("xbar_delayed_grants", r.xbar_delayed_grants);
+  j.kv("xbar_dropped_grants", r.xbar_dropped_grants);
+  j.kv("traps_delivered", r.traps_delivered);
+  j.end_object();
+}
+
+} // namespace
+
+void write_campaign_json(std::ostream& os, const Engine& eng,
+                         const std::vector<JobResult>& results,
+                         u64 base_seed) {
+  trace::JsonWriter j(os);
+  j.begin_object();
+  j.kv("schema", kFarmSchema);
+  j.kv("base_seed", base_seed);
+  j.kv("num_kernels", static_cast<u64>(eng.num_kernels()));
+  j.kv("num_jobs", static_cast<u64>(eng.jobs().size()));
+  j.key("jobs").begin_array();
+  for (std::size_t i = 0; i < eng.jobs().size(); ++i) {
+    const Job& job = eng.jobs()[i];
+    const kernels::KernelRun& run = results[i].run;
+    const FaultConfig& f = job.cfg.faults;
+    j.begin_object();
+    j.kv("index", static_cast<u64>(i));
+    j.kv("kernel", eng.kernel(job.kernel).spec.name);
+    j.kv("mode", sim_mode_name(job.mode));
+    j.kv("iteration", job.iteration);
+    j.kv("fault_seed", f.seed);
+    j.kv("mc_policy", machine_check_policy_name(f.mc_policy));
+    j.kv("dram_correctable_rate", f.dram_correctable_rate);
+    j.kv("dram_uncorrectable_rate", f.dram_uncorrectable_rate);
+    j.kv("fill_parity_rate", f.fill_parity_rate);
+    j.kv("xbar_delay_rate", f.xbar_delay_rate);
+    j.kv("xbar_drop_rate", f.xbar_drop_rate);
+    j.kv("valid", run.valid);
+    j.kv("halted", run.halted);
+    j.kv("reason", termination_reason_name(run.reason));
+    j.kv("kernel_cycles", run.kernel_cycles);
+    j.kv("total_cycles", run.total_cycles);
+    j.kv("packets", run.packets);
+    j.kv("instrs", run.instrs);
+    j.kv("arch_digest", run.arch_digest);
+    if (!run.message.empty()) j.kv("message", run.message);
+    write_recovery(j, run.recovery);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  os << "\n";
+}
+
+std::string campaign_json(const Engine& eng,
+                          const std::vector<JobResult>& results,
+                          u64 base_seed) {
+  std::ostringstream os;
+  write_campaign_json(os, eng, results, base_seed);
+  return os.str();
+}
+
+} // namespace majc::farm

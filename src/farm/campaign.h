@@ -1,0 +1,32 @@
+// Deterministic campaign serialization: the majc-farm-v1 schema.
+//
+// A campaign dump is a pure function of the submitted job matrix and the
+// simulated results — it deliberately carries no host-timing, worker-id or
+// job-count fields, so the same campaign serialized after a --jobs=1 run
+// and a --jobs=16 run is byte-identical (tests/test_farm.cpp asserts this).
+// Host-side throughput lives in CampaignStats and is reported separately
+// (stdout / bench JSON), never here.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "src/farm/farm.h"
+
+namespace majc::farm {
+
+inline constexpr const char* kFarmSchema = "majc-farm-v1";
+
+/// Write the campaign (jobs in submission order + their results) as
+/// majc-farm-v1 JSON. `base_seed` records the campaign's fault-stream seed
+/// for reproduction.
+void write_campaign_json(std::ostream& os, const Engine& eng,
+                         const std::vector<JobResult>& results,
+                         u64 base_seed);
+
+/// write_campaign_json into a string (test + CLI convenience).
+std::string campaign_json(const Engine& eng,
+                          const std::vector<JobResult>& results,
+                          u64 base_seed);
+
+} // namespace majc::farm

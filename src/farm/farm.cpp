@@ -1,0 +1,146 @@
+#include "src/farm/farm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+namespace majc::farm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+u64 splitmix64(u64& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double u01(u64& x) {
+  return static_cast<double>(splitmix64(x) >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+FaultConfig derive_soak_faults(u64 base_seed, u64 kernel_idx, u64 iteration) {
+  u64 s = base_seed ^ (kernel_idx * 0x9e3779b97f4a7c15ull) ^
+          (iteration << 32);
+  FaultConfig f;
+  f.seed = splitmix64(s);
+  f.dram_correctable_rate = u01(s) * 0.1;
+  f.dram_uncorrectable_rate = u01(s) * 0.02;
+  f.fill_parity_rate = u01(s) * 0.05;
+  f.xbar_delay_rate = u01(s) * 0.1;
+  f.xbar_delay_cycles = 1 + static_cast<u32>(splitmix64(s) % 16);
+  f.xbar_drop_rate = u01(s) * 0.02;
+  f.ecc_enabled = true;
+  // Both recoverable machine-check policies get coverage; kFatal/kDeliver
+  // would terminate handler-less kernels on the first double-bit hit.
+  f.mc_policy = iteration % 2 == 0 ? MachineCheckPolicy::kRetry
+                                   : MachineCheckPolicy::kPoison;
+  return f;
+}
+
+kernels::KernelRun WorkerMachines::run(const kernels::CompiledKernel& k,
+                                       const Job& job) {
+  if (job.mode == SimMode::kFunctional) {
+    if (!functional_) {
+      functional_.emplace(k.program);
+      return kernels::run_kernel_on(*functional_, k.spec);
+    }
+    return kernels::run_compiled_functional(k, *functional_);
+  }
+  if (!cycle_) {
+    cycle_.emplace(k.program, job.cfg);
+    return kernels::run_kernel_on(*cycle_, k.spec);
+  }
+  return kernels::run_compiled(k, job.cfg, *cycle_);
+}
+
+u32 Engine::add_kernel(kernels::CompiledKernel k) {
+  kernels_.push_back(std::move(k));
+  return static_cast<u32>(kernels_.size() - 1);
+}
+
+u32 Engine::add_kernel(kernels::KernelSpec spec) {
+  return add_kernel(kernels::compile_kernel(std::move(spec)));
+}
+
+u32 Engine::submit(Job job) {
+  jobs_.push_back(std::move(job));
+  return static_cast<u32>(jobs_.size() - 1);
+}
+
+std::vector<JobResult> Engine::run(unsigned workers,
+                                   CampaignStats* stats) const {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  const std::size_t n_jobs = jobs_.size();
+  const unsigned n_workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, n_jobs == 0 ? 1 : n_jobs));
+
+  std::vector<JobResult> results(n_jobs);
+  std::atomic<std::size_t> cursor{0};
+  const auto t0 = Clock::now();
+
+  auto worker_loop = [&](u32 wid) {
+    WorkerMachines machines;
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_jobs) break;
+      const Job& job = jobs_[i];
+      JobResult& out = results[i];
+      out.worker = wid;
+      const auto j0 = Clock::now();
+      try {
+        out.run = machines.run(kernels_[job.kernel], job);
+      } catch (const std::exception& e) {
+        // A job failure is a result, not an engine failure: report it in
+        // submission order like any other outcome.
+        out.run.valid = false;
+        out.run.halted = false;
+        out.run.message = e.what();
+      }
+      out.host_secs = secs_since(j0);
+    }
+  };
+
+  if (n_workers <= 1) {
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (u32 w = 0; w < n_workers; ++w) {
+      pool.emplace_back(worker_loop, w);
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  if (stats != nullptr) {
+    *stats = CampaignStats{};
+    stats->workers = n_workers;
+    stats->wall_secs = secs_since(t0);
+    for (const JobResult& r : results) {
+      stats->total_packets += r.run.packets;
+      stats->total_instrs += r.run.instrs;
+    }
+    if (stats->wall_secs > 0) {
+      stats->aggregate_pps =
+          static_cast<double>(stats->total_packets) / stats->wall_secs;
+      stats->aggregate_mips =
+          static_cast<double>(stats->total_instrs) / stats->wall_secs / 1e6;
+    }
+  }
+  return results;
+}
+
+} // namespace majc::farm

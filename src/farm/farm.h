@@ -1,0 +1,127 @@
+// Deterministic parallel campaign engine.
+//
+// The MAJC evaluation is embarrassingly parallel across *runs*: Table 1/2
+// sweeps, fault-seed storms and config ablations are matrices of independent
+// (kernel x sim-mode x TimingConfig x fault-seed) jobs. The farm shards such
+// a matrix across host threads while keeping every output bit-identical to
+// a serial run:
+//
+//   * shared immutable predecode — each kernel is assembled + predecoded
+//     once (kernels::CompiledKernel); every worker aliases the same
+//     read-only sim::Program instead of re-deriving it per job. This is a
+//     constant per-job saving that shows up even at --jobs=1.
+//   * per-worker machine reuse — each worker owns one resettable CycleSim /
+//     FunctionalSim arena and reinitializes it in place per job
+//     (CycleSim::reset), so the 32 MB guest arena is allocated once per
+//     worker, not once per job.
+//   * deterministic aggregation — jobs are pulled from an atomic cursor in
+//     any order, but results land in a submission-order vector, and
+//     campaign JSON (src/farm/campaign.h) carries no host-timing fields, so
+//     --jobs=1 and --jobs=16 campaigns are byte-identical.
+//
+// Determinism rules a job must obey (audited in DESIGN.md §11): a running
+// machine touches only its own arena plus shared *immutable* state (the
+// Program, opcode/disasm tables); all RNG (FaultPlan, data synthesis) is
+// seeded per job; no mutable statics anywhere in the simulator core.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cpu/cycle_cpu.h"
+#include "src/kernels/kernel.h"
+#include "src/sim/functional_sim.h"
+#include "src/soc/config.h"
+
+namespace majc::farm {
+
+enum class SimMode : u8 { kFunctional = 0, kCycle = 1 };
+
+constexpr const char* sim_mode_name(SimMode m) {
+  switch (m) {
+    case SimMode::kFunctional: return "functional";
+    case SimMode::kCycle: return "cycle";
+  }
+  return "?";
+}
+
+/// One cell of the campaign matrix. `kernel` indexes the engine's compiled
+/// kernel table; the per-job fault seed rides in cfg.faults.
+struct Job {
+  u32 kernel = 0;
+  SimMode mode = SimMode::kCycle;
+  TimingConfig cfg;
+  u64 iteration = 0;  // caller-defined tag (e.g. soak iteration number)
+};
+
+struct JobResult {
+  kernels::KernelRun run;
+  // Host-side observations — informational only, deliberately excluded from
+  // the deterministic campaign JSON (they differ run to run and job-count
+  // to job-count).
+  double host_secs = 0.0;
+  u32 worker = 0;
+};
+
+/// Host-side campaign aggregates (same caveat: not part of deterministic
+/// output).
+struct CampaignStats {
+  u32 workers = 0;
+  double wall_secs = 0.0;
+  u64 total_packets = 0;
+  u64 total_instrs = 0;
+  double aggregate_pps = 0.0;   // simulated packets per host second
+  double aggregate_mips = 0.0;  // simulated Minstrs per host second
+};
+
+/// Per-worker reusable machines: one cycle arena and one functional arena,
+/// constructed on first use and reset in place for every subsequent job.
+/// Also usable standalone (the soak harness's serial path and tests).
+class WorkerMachines {
+public:
+  kernels::KernelRun run(const kernels::CompiledKernel& k, const Job& job);
+
+private:
+  std::optional<cpu::CycleSim> cycle_;
+  std::optional<sim::FunctionalSim> functional_;
+};
+
+/// Work-queue thread pool over a submitted job matrix.
+class Engine {
+public:
+  Engine() = default;
+
+  /// Register a compiled kernel; returns its index for Job::kernel.
+  u32 add_kernel(kernels::CompiledKernel k);
+  /// Compile + register in one step.
+  u32 add_kernel(kernels::KernelSpec spec);
+
+  const kernels::CompiledKernel& kernel(u32 i) const { return kernels_[i]; }
+  std::size_t num_kernels() const { return kernels_.size(); }
+
+  /// Append a job; returns its submission index (== index into run()'s
+  /// result vector).
+  u32 submit(Job job);
+  const std::vector<Job>& jobs() const { return jobs_; }
+
+  /// Execute every submitted job on `workers` threads (0 = host hardware
+  /// concurrency) and return results in submission order. A job that throws
+  /// is reported as an invalid run (valid=false, message=what()), never as
+  /// an engine failure. May be called repeatedly; each call re-runs the
+  /// submitted matrix.
+  std::vector<JobResult> run(unsigned workers = 0,
+                             CampaignStats* stats = nullptr) const;
+
+private:
+  std::vector<kernels::CompiledKernel> kernels_;
+  std::vector<Job> jobs_;
+};
+
+/// The fault-soak derivation (SplitMix64-mixed, randomized-but-bounded
+/// rates; see bench/soak_faults.cpp): shared by the soak harness and
+/// majc_farm so both storm identical fault streams for a given base seed.
+FaultConfig derive_soak_faults(u64 base_seed, u64 kernel_idx, u64 iteration);
+
+} // namespace majc::farm

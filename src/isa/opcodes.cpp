@@ -6,23 +6,25 @@
 namespace majc::isa {
 namespace {
 
-const std::unordered_map<std::string_view, Op>& name_map() {
-  static const auto* map = [] {
-    auto* m = new std::unordered_map<std::string_view, Op>();
-    for (u32 i = 0; i < kNumOpcodes; ++i) {
-      m->emplace(detail::kOpTable[i].mnemonic, static_cast<Op>(i));
-    }
-    return m;
-  }();
-  return *map;
-}
+// Built once during static initialization (single-threaded, before main)
+// and const thereafter: concurrent machines may assemble / decode freely
+// without synchronization. Previously this was a lazily-initialized magic
+// static behind a leaked pointer; eager const init removes the lazy-init
+// path from the farm's thread-safety audit surface entirely.
+const std::unordered_map<std::string_view, Op> kNameMap = [] {
+  std::unordered_map<std::string_view, Op> m;
+  m.reserve(kNumOpcodes);
+  for (u32 i = 0; i < kNumOpcodes; ++i) {
+    m.emplace(detail::kOpTable[i].mnemonic, static_cast<Op>(i));
+  }
+  return m;
+}();
 
 } // namespace
 
 bool op_from_name(std::string_view name, Op& out) {
-  const auto& m = name_map();
-  auto it = m.find(name);
-  if (it == m.end()) return false;
+  auto it = kNameMap.find(name);
+  if (it == kNameMap.end()) return false;
   out = it->second;
   return true;
 }

@@ -24,9 +24,7 @@ void fill_common(KernelRun& run, const masm::Image& img, sim::MemoryBus& mem,
 
 } // namespace
 
-KernelRun run_kernel(const KernelSpec& spec, const TimingConfig& cfg) {
-  masm::Image img = masm::assemble_or_throw(spec.source);
-  cpu::CycleSim sim(std::move(img), cfg);
+KernelRun run_kernel_on(cpu::CycleSim& sim, const KernelSpec& spec) {
   if (spec.setup) spec.setup(sim.memory(), sim.program().image());
   const auto res = sim.run(spec.max_packets);
 
@@ -64,9 +62,7 @@ KernelRun run_kernel(const KernelSpec& spec, const TimingConfig& cfg) {
   return run;
 }
 
-KernelRun run_kernel_functional(const KernelSpec& spec) {
-  masm::Image img = masm::assemble_or_throw(spec.source);
-  sim::FunctionalSim sim(std::move(img));
+KernelRun run_kernel_on(sim::FunctionalSim& sim, const KernelSpec& spec) {
   if (spec.setup) spec.setup(sim.memory(), sim.program().image());
   const auto res = sim.run(spec.max_packets);
 
@@ -83,6 +79,37 @@ KernelRun run_kernel_functional(const KernelSpec& spec) {
     run.message = "kernel did not halt within packet budget";
   }
   return run;
+}
+
+KernelRun run_kernel(const KernelSpec& spec, const TimingConfig& cfg) {
+  masm::Image img = masm::assemble_or_throw(spec.source);
+  cpu::CycleSim sim(std::move(img), cfg);
+  return run_kernel_on(sim, spec);
+}
+
+KernelRun run_kernel_functional(const KernelSpec& spec) {
+  masm::Image img = masm::assemble_or_throw(spec.source);
+  sim::FunctionalSim sim(std::move(img));
+  return run_kernel_on(sim, spec);
+}
+
+CompiledKernel compile_kernel(KernelSpec spec) {
+  CompiledKernel k;
+  k.program = sim::make_program(masm::assemble_or_throw(spec.source));
+  k.spec = std::move(spec);
+  return k;
+}
+
+KernelRun run_compiled(const CompiledKernel& k, const TimingConfig& cfg,
+                       cpu::CycleSim& machine) {
+  machine.reset(k.program, cfg);
+  return run_kernel_on(machine, k.spec);
+}
+
+KernelRun run_compiled_functional(const CompiledKernel& k,
+                                  sim::FunctionalSim& machine) {
+  machine.reset(k.program);
+  return run_kernel_on(machine, k.spec);
 }
 
 std::string load_addr(u32 greg, const std::string& sym) {

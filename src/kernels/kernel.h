@@ -66,6 +66,35 @@ KernelRun run_kernel(const KernelSpec& spec, const TimingConfig& cfg = {});
 /// correctness tests).
 KernelRun run_kernel_functional(const KernelSpec& spec);
 
+/// A kernel assembled and predecoded once. `program` is immutable and
+/// shared: any number of machines — across threads — may run it
+/// concurrently (the farm engine's shared-predecode path).
+struct CompiledKernel {
+  KernelSpec spec;
+  sim::ProgramRef program;
+};
+
+/// Assemble + predecode `spec` once for repeated / concurrent running.
+CompiledKernel compile_kernel(KernelSpec spec);
+
+/// Run a compiled kernel on a reusable machine: the machine is reset in
+/// place (arena reuse) instead of constructing a fresh simulator, and the
+/// result is bit-identical to run_kernel(spec, cfg) on a fresh machine.
+KernelRun run_compiled(const CompiledKernel& k, const TimingConfig& cfg,
+                       cpu::CycleSim& machine);
+
+/// Functional-mode counterpart of run_compiled (timing-free, like
+/// run_kernel_functional).
+KernelRun run_compiled_functional(const CompiledKernel& k,
+                                  sim::FunctionalSim& machine);
+
+/// Drive an already-initialized machine (freshly constructed or just reset
+/// to the kernel's program) through one run. The building block behind
+/// run_kernel / run_compiled; exposed for harnesses that manage machine
+/// lifetime themselves.
+KernelRun run_kernel_on(cpu::CycleSim& machine, const KernelSpec& spec);
+KernelRun run_kernel_on(sim::FunctionalSim& machine, const KernelSpec& spec);
+
 // ---- shared helpers for kernel sources ----
 
 /// Standard prologue/epilogue fragments: materialize `sym` into gN.

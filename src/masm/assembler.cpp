@@ -48,15 +48,13 @@ struct DataFixup {
   u32 line;
 };
 
-const std::unordered_map<std::string_view, RegSpec>& reg_aliases() {
-  static const std::unordered_map<std::string_view, RegSpec> kMap = {
-      {"zero", 0}, {"lr", 1}, {"sp", 2}};
-  return kMap;
-}
+// Eagerly initialized and const thereafter (no lazy magic static): the
+// assembler stays data-race-free when concurrent farm workers compile.
+const std::unordered_map<std::string_view, RegSpec> kRegAliases = {
+    {"zero", 0}, {"lr", 1}, {"sp", 2}};
 
 bool parse_reg(const std::string& name, RegSpec& out) {
-  const auto& aliases = reg_aliases();
-  if (auto it = aliases.find(name); it != aliases.end()) {
+  if (auto it = kRegAliases.find(name); it != kRegAliases.end()) {
     out = it->second;
     return true;
   }

@@ -1,5 +1,6 @@
 #include "src/sim/functional_sim.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "src/isa/disasm.h"
@@ -91,11 +92,33 @@ void FunctionalSim::format_trap(std::string& out, u32 code, u32 value) {
 }
 
 FunctionalSim::FunctionalSim(masm::Image image, std::size_t mem_bytes)
-    : program_(std::move(image)), mem_(mem_bytes) {
-  load_image(program_.image(), mem_);
-  state_.pc = program_.image().entry;
+    : FunctionalSim(make_program(std::move(image)), mem_bytes) {}
+
+FunctionalSim::FunctionalSim(ProgramRef program, std::size_t mem_bytes)
+    : program_(std::move(program)), mem_(mem_bytes) {
+  load_image(program_->image(), mem_);
+  state_.pc = program_->image().entry;
   // Conventional stack pointer: top of memory, 64-byte aligned headroom.
   state_.regs[2] = static_cast<u32>(mem_.size() - 64);
+}
+
+void FunctionalSim::reset(ProgramRef program) {
+  if (program) program_ = std::move(program);
+  // Reuse the arena: re-zero it instead of reallocating (the construction
+  // cost the farm's per-worker machine reuse avoids), then reload the image
+  // and restore the constructed-state invariants exactly.
+  auto raw = mem_.raw();
+  std::fill(raw.begin(), raw.end(), u8{0});
+  load_image(program_->image(), mem_);
+  state_ = CpuState{};
+  state_.pc = program_->image().entry;
+  state_.regs[2] = static_cast<u32>(mem_.size() - 64);
+  console_.clear();
+  packets_run_ = 0;
+  instrs_run_ = 0;
+  traps_delivered_ = 0;
+  last_trap_ = Trap{};
+  trap_div_zero_ = false;
 }
 
 RunResult FunctionalSim::run(u64 max_packets) {
@@ -110,9 +133,9 @@ RunResult FunctionalSim::run(u64 max_packets) {
   u32 idx = kNoPacketIndex;
   while (!state_.halted && res.packets < max_packets) {
     try {
-      if (idx == kNoPacketIndex) idx = program_.index_of(state_.pc);
-      const isa::Packet& p = program_.packet(idx);
-      const PacketMeta& m = program_.meta(idx);
+      if (idx == kNoPacketIndex) idx = program_->index_of(state_.pc);
+      const isa::Packet& p = program_->packet(idx);
+      const PacketMeta& m = program_->meta(idx);
       const PacketOutcome out = execute_packet(state_, p, m.fall_through, env);
       ++res.packets;
       ++packets_run_;
@@ -139,10 +162,10 @@ RunResult FunctionalSim::run(u64 max_packets) {
         // faulting packet's fall-through so a handler can skip it; when the
         // pc is not a packet boundary (kIllegalPacket) there is no
         // fall-through and tnpc degenerates to tpc.
-        const u32 fidx = program_.find_index(state_.pc);
+        const u32 fidx = program_->find_index(state_.pc);
         const Addr npc = fidx == kNoPacketIndex
                              ? state_.pc
-                             : program_.meta(fidx).fall_through;
+                             : program_->meta(fidx).fall_through;
         state_.deliver_trap(static_cast<u32>(t.code), t.pc, npc, t.value);
         ++traps_delivered_;
         last_trap_ = std::move(t);

@@ -7,6 +7,7 @@
 // Program and the executor so both agree bit-for-bit on results.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +59,17 @@ private:
   std::unordered_map<Addr, u32> index_;
 };
 
+/// Shared ownership of an immutable predecoded program. A Program is
+/// read-only after construction (every accessor is const), so one instance
+/// can back any number of concurrently running machines — the farm engine
+/// predecodes each image once and every worker aliases it.
+using ProgramRef = std::shared_ptr<const Program>;
+
+/// Assemble-and-predecode once; the result is safe to share across threads.
+inline ProgramRef make_program(masm::Image image) {
+  return std::make_shared<const Program>(std::move(image));
+}
+
 /// Copy the image's code and data sections into memory.
 void load_image(const masm::Image& img, MemoryBus& mem);
 
@@ -79,6 +91,15 @@ class FunctionalSim {
 public:
   explicit FunctionalSim(masm::Image image,
                          std::size_t mem_bytes = FlatMemory::kDefaultBytes);
+  /// Share a predecoded program instead of assembling a private copy. The
+  /// program must outlive the sim (shared_ptr guarantees it).
+  explicit FunctionalSim(ProgramRef program,
+                         std::size_t mem_bytes = FlatMemory::kDefaultBytes);
+
+  /// Reinitialize in place for a fresh run — optionally of a different
+  /// program — reusing the memory arena instead of reallocating it. The
+  /// resulting state is indistinguishable from a newly constructed sim.
+  void reset(ProgramRef program = nullptr);
 
   /// Execute until HALT, an architected trap, or `max_packets` packets.
   RunResult run(u64 max_packets = 100'000'000);
@@ -87,7 +108,7 @@ public:
   const CpuState& state() const { return state_; }
   FlatMemory& memory() { return mem_; }
   const FlatMemory& memory() const { return mem_; }
-  const Program& program() const { return program_; }
+  const Program& program() const { return *program_; }
   /// Output accumulated from TRAP (print) instructions.
   const std::string& console() const { return console_; }
 
@@ -111,7 +132,7 @@ public:
   void restore(ckpt::Reader& r);
 
 private:
-  Program program_;
+  ProgramRef program_;
   FlatMemory mem_;
   CpuState state_;
   std::string console_;

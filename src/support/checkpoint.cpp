@@ -668,15 +668,15 @@ void CycleCpu::restore(ckpt::Reader& r) {
 
 void CycleSim::save(ckpt::Writer& w) const {
   save_memory(w, mem_);
-  ms_.save(w);
-  eccmem_.save(w);
+  ms_->save(w);
+  eccmem_->save(w);
   cpu_->save(w);
 }
 
 void CycleSim::restore(ckpt::Reader& r) {
   restore_memory(r, mem_);
-  ms_.restore(r);
-  eccmem_.restore(r);
+  ms_->restore(r);
+  eccmem_->restore(r);
   cpu_->restore(r);
 }
 

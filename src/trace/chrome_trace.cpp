@@ -119,8 +119,7 @@ void CpuTraceRecorder::attach(cpu::CycleCpu& cpu) {
 }
 
 const CpuTraceRecorder::Labels& CpuTraceRecorder::labels(Addr pc, u32 index) {
-  static const Labels kUnknown{true, "<unknown>", {}};
-  if (index == sim::kNoPacketIndex) return kUnknown;
+  if (index == sim::kNoPacketIndex) return unknown_;
   Labels& l = labels_[index];
   if (!l.filled) {
     l.filled = true;

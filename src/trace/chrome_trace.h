@@ -100,6 +100,10 @@ private:
   };
   const Labels& labels(Addr pc, u32 index);
 
+  // Per-instance (not a function-local static): recorders on different
+  // threads must not share lazily-initialized state.
+  const Labels unknown_{true, "<unknown>", {}};
+
   ChromeTraceWriter& w_;
   const sim::Program& prog_;
   TimingConfig cfg_;
