@@ -1,0 +1,272 @@
+// Seeded host-chaos soak: storm the farm *engine* (not the guest) with
+// injected worker exceptions, forced checkpoint preemptions and deadline
+// kills on a deterministic schedule, and assert the resilience layer makes
+// all of it invisible — the final aggregated campaign JSON from a chaotic
+// multi-worker run is byte-identical to an undisturbed --jobs=1 baseline.
+//
+// This is the complement of soak_faults: that harness proves *guest* fault
+// recovery preserves architectural results; this one proves *host* failure
+// handling (retry, backoff, quarantine, preemption) preserves campaign
+// output. Both lean on the same determinism spine: chaos decisions are pure
+// functions of (seed, job, attempt, slice), retries replay deterministic
+// guest outcomes, and the JSON carries no host-observational fields.
+//
+// The harness also pins the hung-job conversion: a kernel that spins
+// forever (storing every iteration, so the cycle watchdog sees progress)
+// under a JobPolicy host deadline comes back quickly as a structured
+// deadline-exceeded result instead of pinning a worker or hanging CI.
+//
+//   $ ./chaos_soak                       # default: 2 fault seeds per kernel
+//   $ ./chaos_soak --runs=1 --jobs=4     # CI smoke configuration
+//   $ ./chaos_soak --chaos-seed=7        # different disturbance schedule
+//
+// Exit status: 0 when the chaotic JSON matches the baseline and the hung
+// job converts; 1 on any divergence.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/farm/campaign.h"
+#include "src/farm/farm.h"
+#include "src/kernels/biquad.h"
+#include "src/kernels/bitrev.h"
+#include "src/kernels/cfir.h"
+#include "src/kernels/color_convert.h"
+#include "src/kernels/convolve.h"
+#include "src/kernels/dct_quant.h"
+#include "src/kernels/fft.h"
+#include "src/kernels/fir.h"
+#include "src/kernels/idct.h"
+#include "src/kernels/kernel.h"
+#include "src/kernels/lms.h"
+#include "src/kernels/max_search.h"
+#include "src/kernels/mb_decode.h"
+#include "src/kernels/motion_est.h"
+#include "src/kernels/vld.h"
+
+using namespace majc;
+
+namespace {
+
+struct NamedKernel {
+  const char* name;
+  std::function<kernels::KernelSpec()> make;
+};
+
+std::vector<NamedKernel> table12_kernels() {
+  using namespace kernels;
+  return {
+      {"biquad", [] { return make_biquad_spec(); }},
+      {"fir", [] { return make_fir_spec(); }},
+      {"iir", [] { return make_iir_spec(); }},
+      {"cfir", [] { return make_cfir_spec(); }},
+      {"lms", [] { return make_lms_spec(); }},
+      {"max_search", [] { return make_max_search_spec(); }},
+      {"bitrev", [] { return make_bitrev_spec(); }},
+      {"fft_radix2", [] { return make_fft_radix2_spec(); }},
+      {"fft_radix4", [] { return make_fft_radix4_spec(); }},
+      {"idct", [] { return make_idct_spec(); }},
+      {"dct_quant", [] { return make_dct_quant_spec(); }},
+      {"vld", [] { return make_vld_spec(); }},
+      {"motion_est", [] { return make_motion_est_spec(); }},
+      {"mb_decode", [] { return make_mb_decode_spec(); }},
+      {"convolve", [] { return make_convolve_spec(); }},
+      {"color_convert", [] { return make_color_convert_spec(); }},
+  };
+}
+
+/// An intentionally-hung guest: spins forever, storing each iteration so
+/// the cycle watchdog keeps seeing forward progress and never fires. Only
+/// the JobPolicy host deadline can end it.
+kernels::KernelSpec make_spin_spec() {
+  kernels::KernelSpec spec;
+  spec.name = "spin_forever";
+  spec.source = R"(
+      .data
+    buf: .space 4
+      .code
+      sethi g1, %hi(buf)
+      orlo g1, %lo(buf)
+    spin:
+      stwi g0, g1, 0
+      bz g0, spin
+      halt
+  )";
+  spec.max_packets = 1ull << 62;  // never reached
+  return spec;
+}
+
+/// Check the hung-job conversion: deadline-killed, classified, fast, not
+/// quarantined (a host deadline says nothing about the guest; a bigger
+/// budget might finish it).
+int check_hung_job_conversion() {
+  farm::Engine eng;
+  eng.add_kernel(make_spin_spec());
+  for (const farm::SimMode mode :
+       {farm::SimMode::kCycle, farm::SimMode::kFunctional}) {
+    farm::Job job;
+    job.kernel = 0;
+    job.mode = mode;
+    job.policy.host_deadline_secs = 0.25;
+    job.policy.slice_packets = 4096;
+    job.policy.max_attempts = 3;  // deadline kills must NOT burn retries
+    eng.submit(job);
+  }
+
+  const std::vector<farm::JobResult> res = eng.run(1);
+  int bad = 0;
+  for (std::size_t i = 0; i < res.size(); ++i) {
+    const farm::JobResult& r = res[i];
+    const char* mode = farm::sim_mode_name(eng.jobs()[i].mode);
+    if (!r.done || r.run.reason != TerminationReason::kHostDeadline ||
+        r.failure != farm::FailureClass::kDeadlineExceeded ||
+        r.quarantined || r.attempts != 1) {
+      std::fprintf(stderr,
+                   "chaos_soak: hung %s job not converted: done=%d "
+                   "reason=%s class=%s quarantined=%d attempts=%u\n",
+                   mode, r.done, termination_reason_name(r.run.reason),
+                   farm::failure_class_name(r.failure), r.quarantined,
+                   r.attempts);
+      ++bad;
+    } else {
+      std::printf("chaos_soak: hung %-10s job -> %s/%s in %.2fs (ok)\n",
+                  mode, termination_reason_name(r.run.reason),
+                  farm::failure_class_name(r.failure), r.host_secs);
+    }
+  }
+  return bad;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  u64 seed = 0x5eed50a4;        // fault-derivation stream (same as soak)
+  u64 chaos_seed = 0xc4a05;     // host-disturbance schedule
+  u64 runs_per_kernel = 2;
+  unsigned jobs = 0;  // 0 = host hardware concurrency
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--seed=", 7) == 0) {
+      seed = std::strtoull(a + 7, nullptr, 0);
+    } else if (std::strncmp(a, "--chaos-seed=", 13) == 0) {
+      chaos_seed = std::strtoull(a + 13, nullptr, 0);
+    } else if (std::strncmp(a, "--runs=", 7) == 0) {
+      runs_per_kernel = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(a + 7, nullptr, 10));
+    } else if (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0') {
+      jobs = static_cast<unsigned>(std::strtoul(a + 2, nullptr, 10));
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      json_path = a + 7;
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_soak [--seed=S] [--chaos-seed=S] [--runs=N] "
+                   "[--jobs=N] [--json=FILE]\n");
+      return 2;
+    }
+  }
+
+  // The campaign under test: every Table 1/2 kernel, both sim modes, with
+  // per-job fault seeds — sliced + retryable so chaos has slice boundaries
+  // to strike at and a retry budget to absorb the hits.
+  farm::Engine eng;
+  for (const NamedKernel& nk : table12_kernels()) {
+    kernels::KernelSpec spec = nk.make();
+    spec.name = nk.name;
+    eng.add_kernel(std::move(spec));
+  }
+  farm::JobPolicy policy;
+  policy.slice_packets = 4096;
+  policy.max_attempts = 3;
+  policy.backoff_base_us = 50;  // exercise the deterministic backoff path
+  policy.backoff_seed = chaos_seed;
+  for (u32 ki = 0; ki < eng.num_kernels(); ++ki) {
+    for (u64 it = 0; it < runs_per_kernel; ++it) {
+      farm::Job job;
+      job.kernel = ki;
+      job.iteration = it;
+      job.policy = policy;
+      job.cfg.faults = farm::derive_soak_faults(seed, ki, it);
+      job.mode = farm::SimMode::kCycle;
+      eng.submit(job);
+      job.mode = farm::SimMode::kFunctional;
+      eng.submit(job);
+    }
+  }
+
+  // Undisturbed --jobs=1 baseline.
+  farm::Engine::RunOptions base_opts;
+  base_opts.workers = 1;
+  const std::string baseline =
+      farm::campaign_json(eng, eng.run(base_opts), seed);
+
+  // The storm: every disturbance the resilience layer is supposed to
+  // absorb, on a schedule that is a pure function of (chaos_seed, job,
+  // attempt, slice) — identical for any worker count or host load.
+  farm::ChaosPlan chaos;
+  chaos.seed = chaos_seed;
+  chaos.exception_rate = 0.4;
+  chaos.deadline_kill_rate = 0.25;
+  chaos.preempt_rate = 0.35;
+  chaos.max_preemptions_per_job = 2;
+
+  farm::CampaignStats stats;
+  farm::Engine::RunOptions chaos_opts;
+  chaos_opts.workers = jobs;
+  chaos_opts.stats = &stats;
+  chaos_opts.chaos = &chaos;
+  const std::string stormed =
+      farm::campaign_json(eng, eng.run(chaos_opts), seed);
+
+  std::printf(
+      "chaos_soak: %zu jobs on %u workers in %.2fs  |  attempts %llu  "
+      "retried %llu  preemptions %llu  quarantined %llu\n",
+      eng.jobs().size(), stats.workers, stats.wall_secs,
+      static_cast<unsigned long long>(stats.total_attempts),
+      static_cast<unsigned long long>(stats.jobs_retried),
+      static_cast<unsigned long long>(stats.forced_preemptions),
+      static_cast<unsigned long long>(stats.jobs_quarantined));
+
+  u64 failures = 0;
+  if (stormed != baseline) {
+    std::fprintf(stderr,
+                 "chaos_soak: FAIL: chaotic campaign JSON diverged from the "
+                 "undisturbed --jobs=1 baseline (%zu vs %zu bytes)\n",
+                 stormed.size(), baseline.size());
+    ++failures;
+  } else {
+    std::printf("chaos_soak: chaotic JSON == undisturbed baseline "
+                "(%zu bytes)\n",
+                baseline.size());
+  }
+  if (stats.total_attempts <= eng.jobs().size()) {
+    // The storm must actually have disturbed something, or the equality
+    // above proves nothing. With the default rates this cannot happen.
+    std::fprintf(stderr,
+                 "chaos_soak: FAIL: chaos injected no disturbances "
+                 "(attempts=%llu for %zu jobs)\n",
+                 static_cast<unsigned long long>(stats.total_attempts),
+                 eng.jobs().size());
+    ++failures;
+  }
+
+  failures += static_cast<u64>(check_hung_job_conversion());
+
+  if (json_path != nullptr) {
+    std::ofstream os(json_path, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    os << baseline;
+  }
+
+  std::printf("chaos_soak: %llu failure(s)\n",
+              static_cast<unsigned long long>(failures));
+  return failures == 0 ? 0 : 1;
+}

@@ -11,8 +11,12 @@
 //   $ ./majc_farm -j8 --json=b.json          # cmp a.json b.json: identical
 //   $ ./majc_farm --kernels=fir,idct --seeds=2 --mode=both
 //   $ ./majc_farm --no-faults                # clean timing sweep instead
+//   $ ./majc_farm --retries=3 --deadline-secs=5 --slice=65536
 //
-// Exit status: 0 when every job validated and halted, 1 otherwise.
+// Exit status: 0 when every job validated and halted; 1 otherwise, with a
+// per-job failure digest (kernel, mode, seed, classified reason, attempts)
+// on stderr so CI logs show *what* failed without re-running the campaign.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -87,7 +91,9 @@ int usage() {
       stderr,
       "usage: majc_farm [-jN | --jobs=N] [--kernels=a,b,...] [--seeds=N]\n"
       "                 [--seed=BASE] [--mode=cycle|functional|both]\n"
-      "                 [--no-faults] [--json=FILE] [--quiet]\n");
+      "                 [--retries=N] [--deadline-secs=S] [--slice=PACKETS]\n"
+      "                 [--backoff-us=N] [--no-faults] [--json=FILE]\n"
+      "                 [--quiet]\n");
   return 2;
 }
 
@@ -102,6 +108,7 @@ int main(int argc, char** argv) {
   bool mode_cycle = true, mode_functional = false;
   std::string kernels_csv;
   const char* json_path = nullptr;
+  farm::JobPolicy policy;  // defaults reproduce the pre-resilience engine
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -116,10 +123,28 @@ int main(int argc, char** argv) {
     } else if (a.rfind("--kernels=", 0) == 0) {
       kernels_csv = a.substr(10);
     } else if (a.rfind("--mode=", 0) == 0) {
+      // Validate at the CLI boundary: a SimMode must never be constructed
+      // from an unchecked string (sim_mode_name asserts on bad values).
       const std::string m = a.substr(7);
       mode_cycle = m == "cycle" || m == "both";
       mode_functional = m == "functional" || m == "both";
-      if (!mode_cycle && !mode_functional) return usage();
+      if (!mode_cycle && !mode_functional) {
+        std::fprintf(stderr,
+                     "majc_farm: invalid --mode '%s' (expected cycle, "
+                     "functional or both)\n",
+                     m.c_str());
+        return usage();
+      }
+    } else if (a.rfind("--retries=", 0) == 0) {
+      policy.max_attempts = std::max(
+          1u,
+          static_cast<unsigned>(std::strtoul(a.c_str() + 10, nullptr, 10)));
+    } else if (a.rfind("--deadline-secs=", 0) == 0) {
+      policy.host_deadline_secs = std::strtod(a.c_str() + 16, nullptr);
+    } else if (a.rfind("--slice=", 0) == 0) {
+      policy.slice_packets = std::strtoull(a.c_str() + 8, nullptr, 10);
+    } else if (a.rfind("--backoff-us=", 0) == 0) {
+      policy.backoff_base_us = std::strtoull(a.c_str() + 13, nullptr, 10);
     } else if (a == "--no-faults") {
       faults = false;
     } else if (a == "--quiet") {
@@ -167,6 +192,7 @@ int main(int argc, char** argv) {
       farm::Job job;
       job.kernel = ki;
       job.iteration = it;
+      job.policy = policy;
       if (faults) {
         job.cfg.faults = farm::derive_soak_faults(base_seed, ki, it);
       }
@@ -216,5 +242,26 @@ int main(int argc, char** argv) {
       "|  %llu failure(s)\n",
       results.size(), stats.workers, stats.wall_secs, stats.aggregate_pps,
       stats.aggregate_mips, static_cast<unsigned long long>(failures));
-  return failures == 0 ? 0 : 1;
+  if (failures == 0) return 0;
+
+  // Failure digest: one stderr line per failed job so a red CI run shows
+  // what broke (and whether retries/quarantine fired) without a re-run.
+  std::fprintf(stderr, "majc_farm: %llu job(s) failed:\n",
+               static_cast<unsigned long long>(failures));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const farm::JobResult& r = results[i];
+    if (r.done && r.run.valid && r.run.halted) continue;
+    const farm::Job& job = eng.jobs()[i];
+    std::fprintf(
+        stderr,
+        "  #%zu %-14s %-10s seed=%llu class=%s reason=%s attempts=%u%s%s%s\n",
+        i, eng.kernel(job.kernel).spec.name.c_str(),
+        farm::sim_mode_name(job.mode),
+        static_cast<unsigned long long>(job.cfg.faults.seed),
+        farm::failure_class_name(r.failure),
+        termination_reason_name(r.run.reason), r.attempts,
+        r.quarantined ? " quarantined" : "",
+        r.run.message.empty() ? "" : "  ", r.run.message.c_str());
+  }
+  return 1;
 }

@@ -53,6 +53,12 @@ void write_campaign_json(std::ostream& os, const Engine& eng,
     j.kv("valid", run.valid);
     j.kv("halted", run.halted);
     j.kv("reason", termination_reason_name(run.reason));
+    // Final-outcome failure classification (DESIGN.md §12). Deterministic:
+    // retries have already absorbed transient host disturbances, so a
+    // chaos-stormed campaign serializes identically to an undisturbed one.
+    // Attempt/slice/preemption counts are host-observational and stay out.
+    j.kv("failure_class", failure_class_name(results[i].failure));
+    j.kv("quarantined", results[i].quarantined);
     j.kv("kernel_cycles", run.kernel_cycles);
     j.kv("total_cycles", run.total_cycles);
     j.kv("packets", run.packets);

@@ -24,10 +24,16 @@ void fill_common(KernelRun& run, const masm::Image& img, sim::MemoryBus& mem,
 
 } // namespace
 
-KernelRun run_kernel_on(cpu::CycleSim& sim, const KernelSpec& spec) {
+void setup_kernel(cpu::CycleSim& sim, const KernelSpec& spec) {
   if (spec.setup) spec.setup(sim.memory(), sim.program().image());
-  const auto res = sim.run(spec.max_packets);
+}
 
+void setup_kernel(sim::FunctionalSim& sim, const KernelSpec& spec) {
+  if (spec.setup) spec.setup(sim.memory(), sim.program().image());
+}
+
+KernelRun finalize_kernel(cpu::CycleSim& sim, const KernelSpec& spec,
+                          const cpu::CycleSim::Result& res) {
   KernelRun run;
   run.total_cycles = res.cycles;
   run.packets = res.packets;
@@ -62,14 +68,15 @@ KernelRun run_kernel_on(cpu::CycleSim& sim, const KernelSpec& spec) {
   return run;
 }
 
-KernelRun run_kernel_on(sim::FunctionalSim& sim, const KernelSpec& spec) {
-  if (spec.setup) spec.setup(sim.memory(), sim.program().image());
-  const auto res = sim.run(spec.max_packets);
-
+KernelRun finalize_kernel(sim::FunctionalSim& sim, const KernelSpec& spec,
+                          const sim::RunResult& res) {
   KernelRun run;
-  run.total_cycles = res.packets;  // packet count stands in for time
-  run.packets = res.packets;
-  run.instrs = res.instrs;
+  // Cumulative machine counters, not the last slice's per-call counts, so a
+  // sliced run reports the same totals as a single run() call (they agree
+  // by construction on a machine that was fresh/reset at setup time).
+  run.total_cycles = sim.packets_run();  // packet count stands in for time
+  run.packets = sim.packets_run();
+  run.instrs = sim.instrs_run();
   run.halted = res.halted;
   run.reason = res.reason;
   run.arch_digest = ckpt::arch_digest(sim);
@@ -79,6 +86,16 @@ KernelRun run_kernel_on(sim::FunctionalSim& sim, const KernelSpec& spec) {
     run.message = "kernel did not halt within packet budget";
   }
   return run;
+}
+
+KernelRun run_kernel_on(cpu::CycleSim& sim, const KernelSpec& spec) {
+  setup_kernel(sim, spec);
+  return finalize_kernel(sim, spec, sim.run(spec.max_packets));
+}
+
+KernelRun run_kernel_on(sim::FunctionalSim& sim, const KernelSpec& spec) {
+  setup_kernel(sim, spec);
+  return finalize_kernel(sim, spec, sim.run(spec.max_packets));
 }
 
 KernelRun run_kernel(const KernelSpec& spec, const TimingConfig& cfg) {

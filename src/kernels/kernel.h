@@ -95,6 +95,21 @@ KernelRun run_compiled_functional(const CompiledKernel& k,
 KernelRun run_kernel_on(cpu::CycleSim& machine, const KernelSpec& spec);
 KernelRun run_kernel_on(sim::FunctionalSim& machine, const KernelSpec& spec);
 
+/// Split phases of run_kernel_on for harnesses that slice a run into
+/// several machine.run(cap) calls (the farm's preemptible executor):
+/// setup_kernel writes the spec's input data (call exactly once per run,
+/// never after a checkpoint restore — the restored memory already holds
+/// it), finalize_kernel derives the KernelRun from the machine's final
+/// state plus the *last* slice's raw result. A single-slice
+/// setup / run(max) / finalize sequence is bit-identical to
+/// run_kernel_on (tests/test_resilience.cpp pins the sliced case).
+void setup_kernel(cpu::CycleSim& machine, const KernelSpec& spec);
+void setup_kernel(sim::FunctionalSim& machine, const KernelSpec& spec);
+KernelRun finalize_kernel(cpu::CycleSim& machine, const KernelSpec& spec,
+                          const cpu::CycleSim::Result& res);
+KernelRun finalize_kernel(sim::FunctionalSim& machine, const KernelSpec& spec,
+                          const sim::RunResult& res);
+
 // ---- shared helpers for kernel sources ----
 
 /// Standard prologue/epilogue fragments: materialize `sym` into gN.

@@ -109,10 +109,13 @@ private:
 
 /// Why a run loop returned (ISSUE: structured instead of a bare bool).
 enum class TerminationReason : u8 {
-  kHalted = 0,    // every CPU/thread executed HALT
-  kTrap = 1,      // an architected trap was delivered
-  kWatchdog = 2,  // no externally visible progress for watchdog_cycles
-  kPacketCap = 3, // hit the max_packets safety cap without halting
+  kHalted = 0,       // every CPU/thread executed HALT
+  kTrap = 1,         // an architected trap was delivered
+  kWatchdog = 2,     // no externally visible progress for watchdog_cycles
+  kPacketCap = 3,    // hit the max_packets safety cap without halting
+  kHostDeadline = 4, // the host-side run harness killed the run at its
+                     // wall-clock deadline (farm JobPolicy; never raised by
+                     // the simulators themselves)
 };
 
 constexpr const char* termination_reason_name(TerminationReason r) {
@@ -121,6 +124,7 @@ constexpr const char* termination_reason_name(TerminationReason r) {
     case TerminationReason::kTrap: return "trap";
     case TerminationReason::kWatchdog: return "watchdog";
     case TerminationReason::kPacketCap: return "packet-cap";
+    case TerminationReason::kHostDeadline: return "host-deadline";
   }
   return "?";
 }

@@ -118,7 +118,8 @@ void CpuTraceRecorder::attach(cpu::CycleCpu& cpu) {
   cpu.set_trace([this](const cpu::TraceEvent& ev) { on_event(ev); });
 }
 
-const CpuTraceRecorder::Labels& CpuTraceRecorder::labels(Addr pc, u32 index) {
+const CpuTraceRecorder::Labels& CpuTraceRecorder::labels([[maybe_unused]] Addr pc,
+                                                         u32 index) {
   if (index == sim::kNoPacketIndex) return unknown_;
   Labels& l = labels_[index];
   if (!l.filled) {
