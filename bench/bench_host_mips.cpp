@@ -99,8 +99,13 @@ Result measure(const std::string& name, double min_secs, RunOnce run_once) {
   return r;
 }
 
-Sample run_functional(const masm::Image& img, const kernels::KernelSpec& spec) {
-  sim::FunctionalSim sim(img, kMemBytes);
+Sample run_functional(const sim::ProgramRef& prog,
+                      const kernels::KernelSpec& spec, sim::ExecBackend be) {
+  // Shared predecode (and, for the threaded backend, the per-Program
+  // translation cache warmed once by the caller): construction per rep only
+  // re-zeroes the arena, mirroring the farm's machine-reuse path.
+  sim::FunctionalSim sim(prog, kMemBytes);
+  sim.set_backend(be);
   if (spec.setup) spec.setup(sim.memory(), sim.program().image());
   const auto t0 = Clock::now();
   const sim::RunResult res = sim.run(spec.max_packets);
@@ -235,9 +240,17 @@ void write_json(const std::string& path, const std::vector<Result>& results,
   os << "\n";
 }
 
-/// Minimal extraction of {name -> mips} from a previous run's JSON (the
-/// emitter above always writes "name" before "mips" in each entry).
-std::map<std::string, double> parse_baseline(const std::string& path) {
+struct BaselineEntry {
+  double mips = 0;
+  long reps = 0;
+};
+
+/// Minimal extraction of {name -> {mips, reps}} from a previous run's JSON
+/// (the emitter above always writes "name" before "mips" before "reps" in
+/// each entry). A baseline entry without a positive "reps" count is not
+/// self-describing — it never names how much measurement backs it — so the
+/// gate rejects it outright instead of trusting it.
+std::map<std::string, BaselineEntry> parse_baseline(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "bench_host_mips: cannot read baseline %s\n",
@@ -247,7 +260,7 @@ std::map<std::string, double> parse_baseline(const std::string& path) {
   std::stringstream ss;
   ss << in.rdbuf();
   const std::string text = ss.str();
-  std::map<std::string, double> out;
+  std::map<std::string, BaselineEntry> out;
   std::size_t pos = 0;
   while ((pos = text.find("\"name\":", pos)) != std::string::npos) {
     const std::size_t q1 = text.find('"', pos + 7);
@@ -257,8 +270,23 @@ std::map<std::string, double> parse_baseline(const std::string& path) {
         m == std::string::npos) {
       break;
     }
-    out[text.substr(q1 + 1, q2 - q1 - 1)] =
-        std::strtod(text.c_str() + m + 7, nullptr);
+    const std::string name = text.substr(q1 + 1, q2 - q1 - 1);
+    BaselineEntry e;
+    e.mips = std::strtod(text.c_str() + m + 7, nullptr);
+    // "reps" belongs to this entry only if it appears before the next entry.
+    const std::size_t r = text.find("\"reps\":", m);
+    const std::size_t next = text.find("\"name\":", q2);
+    if (r != std::string::npos && (next == std::string::npos || r < next)) {
+      e.reps = std::strtol(text.c_str() + r + 7, nullptr, 10);
+    }
+    if (e.reps <= 0) {
+      std::fprintf(stderr,
+                   "bench_host_mips: baseline entry \"%s\" has reps=%ld; a "
+                   "baseline must record the rep count that produced it\n",
+                   name.c_str(), e.reps);
+      std::exit(2);
+    }
+    out[name] = e;
     pos = q2;
   }
   return out;
@@ -301,9 +329,15 @@ int main(int argc, char** argv) {
   std::vector<Result> results;
   for (const KernelCase& c : cases) {
     const masm::Image img = masm::assemble_or_throw(c.spec.source);
+    const sim::ProgramRef prog = sim::make_program(img);
+    prog->threaded();  // translate once, off the clock (the farm's shape)
+    results.push_back(measure(
+        std::string(c.name) + "/functional", min_secs,
+        [&] { return run_functional(prog, c.spec, sim::ExecBackend::kInterp); }));
     results.push_back(
-        measure(std::string(c.name) + "/functional", min_secs,
-                [&] { return run_functional(img, c.spec); }));
+        measure(std::string(c.name) + "/functional-threaded", min_secs, [&] {
+          return run_functional(prog, c.spec, sim::ExecBackend::kThreaded);
+        }));
     results.push_back(measure(std::string(c.name) + "/cycle", min_secs,
                               [&] { return run_cycle(img, c.spec); }));
   }
@@ -334,11 +368,11 @@ int main(int argc, char** argv) {
     for (const Result& r : results) {
       const auto it = base.find(r.name);
       if (it == base.end()) continue;
-      const double floor_mips = it->second * (1.0 - tolerance);
+      const double floor_mips = it->second.mips * (1.0 - tolerance);
       if (r.mips < floor_mips) {
         std::fprintf(stderr,
                      "REGRESSION %s: %.2f MIPS < %.2f (baseline %.2f - %g%%)\n",
-                     r.name.c_str(), r.mips, floor_mips, it->second,
+                     r.name.c_str(), r.mips, floor_mips, it->second.mips,
                      tolerance * 100);
         failed = true;
       }

@@ -148,6 +148,7 @@ int main(int argc, char** argv) {
   u64 chaos_seed = 0xc4a05;     // host-disturbance schedule
   u64 runs_per_kernel = 2;
   unsigned jobs = 0;  // 0 = host hardware concurrency
+  sim::ExecBackend backend = sim::ExecBackend::kThreaded;
   const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -161,12 +162,16 @@ int main(int argc, char** argv) {
       jobs = static_cast<unsigned>(std::strtoul(a + 7, nullptr, 10));
     } else if (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0') {
       jobs = static_cast<unsigned>(std::strtoul(a + 2, nullptr, 10));
+    } else if (std::strcmp(a, "--backend=interp") == 0) {
+      backend = sim::ExecBackend::kInterp;
+    } else if (std::strcmp(a, "--backend=threaded") == 0) {
+      backend = sim::ExecBackend::kThreaded;
     } else if (std::strncmp(a, "--json=", 7) == 0) {
       json_path = a + 7;
     } else {
       std::fprintf(stderr,
                    "usage: chaos_soak [--seed=S] [--chaos-seed=S] [--runs=N] "
-                   "[--jobs=N] [--json=FILE]\n");
+                   "[--jobs=N] [--backend=interp|threaded] [--json=FILE]\n");
       return 2;
     }
   }
@@ -195,6 +200,7 @@ int main(int argc, char** argv) {
       job.mode = farm::SimMode::kCycle;
       eng.submit(job);
       job.mode = farm::SimMode::kFunctional;
+      job.backend = backend;  // functional legs honour --backend
       eng.submit(job);
     }
   }

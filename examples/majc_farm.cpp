@@ -91,6 +91,7 @@ int usage() {
       stderr,
       "usage: majc_farm [-jN | --jobs=N] [--kernels=a,b,...] [--seeds=N]\n"
       "                 [--seed=BASE] [--mode=cycle|functional|both]\n"
+      "                 [--backend=interp|threaded]\n"
       "                 [--retries=N] [--deadline-secs=S] [--slice=PACKETS]\n"
       "                 [--backoff-us=N] [--no-faults] [--json=FILE]\n"
       "                 [--quiet]\n");
@@ -106,6 +107,7 @@ int main(int argc, char** argv) {
   bool faults = true;
   bool quiet = false;
   bool mode_cycle = true, mode_functional = false;
+  sim::ExecBackend backend = sim::ExecBackend::kThreaded;
   std::string kernels_csv;
   const char* json_path = nullptr;
   farm::JobPolicy policy;  // defaults reproduce the pre-resilience engine
@@ -133,6 +135,21 @@ int main(int argc, char** argv) {
                      "majc_farm: invalid --mode '%s' (expected cycle, "
                      "functional or both)\n",
                      m.c_str());
+        return usage();
+      }
+    } else if (a.rfind("--backend=", 0) == 0) {
+      // Same boundary rule as --mode: an ExecBackend is only ever built
+      // from a validated string.
+      const std::string b = a.substr(10);
+      if (b == "interp") {
+        backend = sim::ExecBackend::kInterp;
+      } else if (b == "threaded") {
+        backend = sim::ExecBackend::kThreaded;
+      } else {
+        std::fprintf(stderr,
+                     "majc_farm: invalid --backend '%s' (expected interp or "
+                     "threaded)\n",
+                     b.c_str());
         return usage();
       }
     } else if (a.rfind("--retries=", 0) == 0) {
@@ -193,6 +210,7 @@ int main(int argc, char** argv) {
       job.kernel = ki;
       job.iteration = it;
       job.policy = policy;
+      job.backend = backend;
       if (faults) {
         job.cfg.faults = farm::derive_soak_faults(base_seed, ki, it);
       }

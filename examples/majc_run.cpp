@@ -9,6 +9,13 @@
 //   $ ./majc_run -c prog.s           # static schedule check only
 //   $ ./majc_run -t prog.s           # cycle run with a pipeline trace
 //
+// Functional-mode execution backend (see DESIGN.md §13):
+//   --backend=interp|threaded   choose the packet interpreter or the
+//                               threaded-code translation backend (default:
+//                               threaded; guest-visible state is identical)
+//   --shape-stats               print the translator's packet-shape
+//                               histogram and fusion counters, then run
+//
 // Observability (cycle and chip modes):
 //   --trace-out=FILE   write a Chrome trace-event JSON timeline (load the
 //                      file in https://ui.perfetto.dev or chrome://tracing;
@@ -41,6 +48,7 @@
 #include "src/isa/disasm.h"
 #include "src/masm/assembler.h"
 #include "src/sim/functional_sim.h"
+#include "src/sim/threaded.h"
 #include "src/soc/chip.h"
 #include "src/support/checkpoint.h"
 #include "src/trace/chrome_trace.h"
@@ -53,6 +61,8 @@ namespace {
 
 struct Options {
   bool functional = false;
+  sim::ExecBackend backend = sim::ExecBackend::kThreaded;
+  bool shape_stats = false;
   bool disasm_only = false;
   bool dual = false;
   bool schedcheck = false;
@@ -98,6 +108,19 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.restore = a + 10;
     } else if (std::strncmp(a, "--max-packets=", 14) == 0) {
       opt.max_packets = std::strtoull(a + 14, nullptr, 10);
+    } else if (std::strncmp(a, "--backend=", 10) == 0) {
+      const char* v = a + 10;
+      if (std::strcmp(v, "interp") == 0) {
+        opt.backend = sim::ExecBackend::kInterp;
+      } else if (std::strcmp(v, "threaded") == 0) {
+        opt.backend = sim::ExecBackend::kThreaded;
+      } else {
+        std::fprintf(stderr, "--backend must be interp or threaded, got %s\n",
+                     v);
+        return false;
+      }
+    } else if (std::strcmp(a, "--shape-stats") == 0) {
+      opt.shape_stats = true;
     } else if (a[0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", a);
       return false;
@@ -175,7 +198,8 @@ int main(int argc, char** argv) {
                  "[--profile[=N]] [--stats-json=FILE]\n"
                  "                [--checkpoint-out=FILE] "
                  "[--checkpoint-every=N] [--restore=FILE]\n"
-                 "                [--max-packets=N] <prog.s>\n");
+                 "                [--max-packets=N] "
+                 "[--backend=interp|threaded] [--shape-stats] <prog.s>\n");
     return 2;
   }
 
@@ -205,7 +229,15 @@ int main(int argc, char** argv) {
   }
   if (opt.functional) {
     sim::FunctionalSim sim(*image);
+    if (opt.shape_stats) {
+      std::fputs(
+          sim::format_shape_stats(sim.program().threaded().stats).c_str(),
+          stdout);
+    }
     if (opt.restore != nullptr && !restore_from(opt.restore, sim)) return 2;
+    // Backend choice is host-side, outside the checkpoint format: re-apply
+    // after restore so --backend composes with --restore.
+    sim.set_backend(opt.backend);
     // run() takes a per-call budget, so the chunked loop hands it the
     // distance to the cumulative --max-packets cap each iteration.
     sim::RunResult res;

@@ -42,6 +42,12 @@ void write_campaign_json(std::ostream& os, const Engine& eng,
     j.kv("index", static_cast<u64>(i));
     j.kv("kernel", eng.kernel(job.kernel).spec.name);
     j.kv("mode", sim_mode_name(job.mode));
+    // Execution engine actually used: functional jobs name their backend,
+    // cycle jobs have exactly one engine. Deterministic (a job field, not a
+    // host observation), so -j1 == -jN byte-identity holds across backends.
+    j.kv("backend", job.mode == SimMode::kCycle
+                        ? "cycle"
+                        : sim::exec_backend_name(job.backend));
     j.kv("iteration", job.iteration);
     j.kv("fault_seed", f.seed);
     j.kv("mc_policy", machine_check_policy_name(f.mc_policy));

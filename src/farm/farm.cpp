@@ -122,11 +122,18 @@ struct CycleDriver {
 struct FunctionalDriver {
   sim::FunctionalSim& m;
   const kernels::CompiledKernel& k;
+  sim::ExecBackend backend = sim::ExecBackend::kThreaded;
 
   sim::FunctionalSim& machine() { return m; }
   u64 packets() const { return m.packets_run(); }
   sim::RunResult run_to(u64 cap) { return m.run(cap - m.packets_run()); }
-  void reset() { m.reset(k.program); }
+  void reset() {
+    m.reset(k.program);
+    // reset() restores the default backend; re-apply the job's choice (a
+    // restore() that may follow only loads guest state — the backend is a
+    // host-side knob, deliberately outside the checkpoint format).
+    m.set_backend(backend);
+  }
   std::vector<u8> save() const { return ckpt::save_checkpoint(m); }
   void restore(const std::vector<u8>& b) { ckpt::restore_checkpoint(m, b); }
 };
@@ -256,7 +263,8 @@ JobStatus run_resilient(const kernels::CompiledKernel& k, const Job& job,
         st = run_attempt(d, k.spec, job, job_index, opts, attempt, rs, out,
                          suspended_out, fail);
       } else {
-        FunctionalDriver d{machines.acquire_functional(k.program), k};
+        FunctionalDriver d{machines.acquire_functional(k.program), k,
+                           job.backend};
         st = run_attempt(d, k.spec, job, job_index, opts, attempt, rs, out,
                          suspended_out, fail);
       }
@@ -349,11 +357,9 @@ FaultConfig derive_soak_faults(u64 base_seed, u64 kernel_idx, u64 iteration) {
 kernels::KernelRun WorkerMachines::run(const kernels::CompiledKernel& k,
                                        const Job& job) {
   if (job.mode == SimMode::kFunctional) {
-    if (!functional_) {
-      functional_.emplace(k.program);
-      return kernels::run_kernel_on(*functional_, k.spec);
-    }
-    return kernels::run_compiled_functional(k, *functional_);
+    sim::FunctionalSim& m = acquire_functional(k.program);
+    m.set_backend(job.backend);
+    return kernels::run_kernel_on(m, k.spec);
   }
   if (!cycle_) {
     cycle_.emplace(k.program, job.cfg);

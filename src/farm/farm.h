@@ -133,6 +133,11 @@ u64 backoff_us(const JobPolicy& p, u64 job_index, u32 attempt);
 struct Job {
   u32 kernel = 0;
   SimMode mode = SimMode::kCycle;
+  /// Functional-mode execution engine (ignored by cycle jobs). Guest-visible
+  /// output is identical for both backends, and the field is part of the
+  /// job, not of the host schedule, so -j1 and -jN campaigns stay
+  /// byte-identical across backends.
+  sim::ExecBackend backend = sim::ExecBackend::kThreaded;
   TimingConfig cfg;
   u64 iteration = 0;  // caller-defined tag (e.g. soak iteration number)
   JobPolicy policy;

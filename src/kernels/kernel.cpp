@@ -113,6 +113,10 @@ KernelRun run_kernel_functional(const KernelSpec& spec) {
 CompiledKernel compile_kernel(KernelSpec spec) {
   CompiledKernel k;
   k.program = sim::make_program(masm::assemble_or_throw(spec.source));
+  // Warm the threaded-code cache at compile time: the farm's workers then
+  // share one ready translation per image instead of colliding on the lazy
+  // call_once inside their first functional job.
+  k.program->threaded();
   k.spec = std::move(spec);
   return k;
 }

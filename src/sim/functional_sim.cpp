@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/isa/disasm.h"
+#include "src/sim/threaded.h"  // completes ThreadedCode for Program's members
 #include "src/support/error.h"
 
 namespace majc::sim {
@@ -119,9 +120,15 @@ void FunctionalSim::reset(ProgramRef program) {
   traps_delivered_ = 0;
   last_trap_ = Trap{};
   trap_div_zero_ = false;
+  backend_ = ExecBackend::kThreaded;
 }
 
 RunResult FunctionalSim::run(u64 max_packets) {
+  return backend_ == ExecBackend::kThreaded ? run_threaded(max_packets)
+                                            : run_interp(max_packets);
+}
+
+RunResult FunctionalSim::run_interp(u64 max_packets) {
   RunResult res;
   ExecEnv env{mem_};
   env.trap_div_zero = trap_div_zero_;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,8 @@ class Reader;
 
 namespace majc::sim {
 
+struct ThreadedCode;
+
 /// Pre-decoded code image. Packets are addressable only at their start; a
 /// control transfer into the middle of a packet is a model fault.
 ///
@@ -35,6 +38,7 @@ namespace majc::sim {
 class Program {
 public:
   explicit Program(masm::Image image);
+  ~Program();  // out-of-line: ThreadedCode is incomplete here
 
   bool has_packet(Addr pc) const { return index_.count(pc) != 0; }
   const isa::Packet& packet_at(Addr pc) const;
@@ -52,11 +56,21 @@ public:
   std::size_t num_packets() const { return packets_.size(); }
   const masm::Image& image() const { return image_; }
 
+  /// Threaded-code form of this program (see threaded.h). Translated lazily
+  /// on first use and cached for the Program's lifetime, so the farm's
+  /// shared-predecode path pays for translation once per image no matter how
+  /// many workers alias the ProgramRef (std::call_once makes the lazy init
+  /// thread-safe; the result is immutable afterwards, like the rest of the
+  /// Program).
+  const ThreadedCode& threaded() const;
+
 private:
   masm::Image image_;
   std::vector<isa::Packet> packets_;
   std::vector<PacketMeta> meta_;
   std::unordered_map<Addr, u32> index_;
+  mutable std::once_flag threaded_once_;
+  mutable std::unique_ptr<ThreadedCode> threaded_;
 };
 
 /// Shared ownership of an immutable predecoded program. A Program is
@@ -80,6 +94,19 @@ struct RunResult {
   TerminationReason reason = TerminationReason::kPacketCap;
   Trap trap;  // valid (code != kNone) only when reason == kTrap
 };
+
+/// Functional-mode execution engine. Both produce bit-identical
+/// guest-visible state (registers, memory, traps, stats, checkpoints);
+/// kThreaded runs the predecoded packets through the translated dispatch
+/// records of Program::threaded() and is the default.
+enum class ExecBackend : u8 {
+  kInterp,
+  kThreaded,
+};
+
+constexpr const char* exec_backend_name(ExecBackend b) {
+  return b == ExecBackend::kInterp ? "interp" : "threaded";
+}
 
 /// One-shot diagnostic for a delivered trap: cause, context, the faulting
 /// packet disassembled (when pc is a packet boundary) and a register
@@ -124,6 +151,11 @@ public:
   /// Arm the integer divide-by-zero trap (default: div/0 yields 0).
   void set_trap_div_zero(bool on) { trap_div_zero_ = on; }
 
+  /// Select the execution engine (guest-visible state is identical either
+  /// way). reset() restores the default (threaded), like every other knob.
+  void set_backend(ExecBackend b) { backend_ = b; }
+  ExecBackend backend() const { return backend_; }
+
   /// Format one trap according to ConsoleTrap; shared with the SoC model so
   /// functional and timed runs produce identical console text.
   static void format_trap(std::string& out, u32 code, u32 value);
@@ -132,6 +164,9 @@ public:
   void restore(ckpt::Reader& r);
 
 private:
+  RunResult run_interp(u64 max_packets);
+  RunResult run_threaded(u64 max_packets);  // defined in threaded.cpp
+
   ProgramRef program_;
   FlatMemory mem_;
   CpuState state_;
@@ -141,6 +176,7 @@ private:
   u64 traps_delivered_ = 0;
   Trap last_trap_;
   bool trap_div_zero_ = false;
+  ExecBackend backend_ = ExecBackend::kThreaded;
 };
 
 } // namespace majc::sim
