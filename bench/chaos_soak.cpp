@@ -26,58 +26,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/farm/campaign.h"
 #include "src/farm/farm.h"
-#include "src/kernels/biquad.h"
-#include "src/kernels/bitrev.h"
-#include "src/kernels/cfir.h"
-#include "src/kernels/color_convert.h"
-#include "src/kernels/convolve.h"
-#include "src/kernels/dct_quant.h"
-#include "src/kernels/fft.h"
-#include "src/kernels/fir.h"
-#include "src/kernels/idct.h"
 #include "src/kernels/kernel.h"
-#include "src/kernels/lms.h"
-#include "src/kernels/max_search.h"
-#include "src/kernels/mb_decode.h"
-#include "src/kernels/motion_est.h"
-#include "src/kernels/vld.h"
+#include "src/kernels/table12.h"
 
 using namespace majc;
 
 namespace {
-
-struct NamedKernel {
-  const char* name;
-  std::function<kernels::KernelSpec()> make;
-};
-
-std::vector<NamedKernel> table12_kernels() {
-  using namespace kernels;
-  return {
-      {"biquad", [] { return make_biquad_spec(); }},
-      {"fir", [] { return make_fir_spec(); }},
-      {"iir", [] { return make_iir_spec(); }},
-      {"cfir", [] { return make_cfir_spec(); }},
-      {"lms", [] { return make_lms_spec(); }},
-      {"max_search", [] { return make_max_search_spec(); }},
-      {"bitrev", [] { return make_bitrev_spec(); }},
-      {"fft_radix2", [] { return make_fft_radix2_spec(); }},
-      {"fft_radix4", [] { return make_fft_radix4_spec(); }},
-      {"idct", [] { return make_idct_spec(); }},
-      {"dct_quant", [] { return make_dct_quant_spec(); }},
-      {"vld", [] { return make_vld_spec(); }},
-      {"motion_est", [] { return make_motion_est_spec(); }},
-      {"mb_decode", [] { return make_mb_decode_spec(); }},
-      {"convolve", [] { return make_convolve_spec(); }},
-      {"color_convert", [] { return make_color_convert_spec(); }},
-  };
-}
 
 /// An intentionally-hung guest: spins forever, storing each iteration so
 /// the cycle watchdog keeps seeing forward progress and never fires. Only
@@ -180,10 +139,8 @@ int main(int argc, char** argv) {
   // per-job fault seeds — sliced + retryable so chaos has slice boundaries
   // to strike at and a retry budget to absorb the hits.
   farm::Engine eng;
-  for (const NamedKernel& nk : table12_kernels()) {
-    kernels::KernelSpec spec = nk.make();
-    spec.name = nk.name;
-    eng.add_kernel(std::move(spec));
+  for (const kernels::NamedKernel& nk : kernels::table12_kernels()) {
+    eng.add_kernel(kernels::table12_spec(nk));
   }
   farm::JobPolicy policy;
   policy.slice_packets = 4096;

@@ -27,27 +27,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "src/farm/farm.h"
-#include "src/kernels/biquad.h"
-#include "src/kernels/bitrev.h"
-#include "src/kernels/cfir.h"
-#include "src/kernels/color_convert.h"
-#include "src/kernels/convolve.h"
-#include "src/kernels/dct_quant.h"
-#include "src/kernels/fft.h"
-#include "src/kernels/fir.h"
-#include "src/kernels/idct.h"
 #include "src/kernels/kernel.h"
-#include "src/kernels/lms.h"
-#include "src/kernels/max_search.h"
-#include "src/kernels/mb_decode.h"
-#include "src/kernels/motion_est.h"
-#include "src/kernels/vld.h"
+#include "src/kernels/table12.h"
 #include "src/trace/json.h"
 
 using namespace majc;
@@ -55,33 +41,6 @@ using namespace majc;
 namespace {
 
 constexpr const char* kSoakSchema = "majc-soak-v1";
-
-struct NamedKernel {
-  const char* name;
-  std::function<kernels::KernelSpec()> make;
-};
-
-std::vector<NamedKernel> table12_kernels() {
-  using namespace kernels;
-  return {
-      {"biquad", [] { return make_biquad_spec(); }},
-      {"fir", [] { return make_fir_spec(); }},
-      {"iir", [] { return make_iir_spec(); }},
-      {"cfir", [] { return make_cfir_spec(); }},
-      {"lms", [] { return make_lms_spec(); }},
-      {"max_search", [] { return make_max_search_spec(); }},
-      {"bitrev", [] { return make_bitrev_spec(); }},
-      {"fft_radix2", [] { return make_fft_radix2_spec(); }},
-      {"fft_radix4", [] { return make_fft_radix4_spec(); }},
-      {"idct", [] { return make_idct_spec(); }},
-      {"dct_quant", [] { return make_dct_quant_spec(); }},
-      {"vld", [] { return make_vld_spec(); }},
-      {"motion_est", [] { return make_motion_est_spec(); }},
-      {"mb_decode", [] { return make_mb_decode_spec(); }},
-      {"convolve", [] { return make_convolve_spec(); }},
-      {"color_convert", [] { return make_color_convert_spec(); }},
-  };
-}
 
 struct SoakRun {
   u64 iteration = 0;
@@ -190,10 +149,11 @@ int main(int argc, char** argv) {
   // storm — golden run + fault runs per kernel — as one campaign. Job
   // layout per kernel ki: index ki*(1+R) is the fault-free golden run,
   // ki*(1+R)+1+it is fault iteration `it`.
-  const std::vector<NamedKernel> kernels_in = table12_kernels();
+  const std::vector<kernels::NamedKernel>& kernels_in =
+      kernels::table12_kernels();
   farm::Engine eng;
-  for (const NamedKernel& nk : kernels_in) {
-    eng.add_kernel(nk.make());
+  for (const kernels::NamedKernel& nk : kernels_in) {
+    eng.add_kernel(kernels::table12_spec(nk));
   }
   const u64 per_kernel = 1 + runs_per_kernel;
   for (u32 ki = 0; ki < eng.num_kernels(); ++ki) {
@@ -216,7 +176,7 @@ int main(int argc, char** argv) {
   std::vector<SoakKernel> results;
   u64 failures = 0;
   for (std::size_t ki = 0; ki < kernels_in.size(); ++ki) {
-    const NamedKernel& nk = kernels_in[ki];
+    const kernels::NamedKernel& nk = kernels_in[ki];
     SoakKernel out;
     out.name = nk.name;
     out.golden = raw[ki * per_kernel].run;

@@ -13,9 +13,15 @@
 //   $ ./majc_farm --no-faults                # clean timing sweep instead
 //   $ ./majc_farm --retries=3 --deadline-secs=5 --slice=65536
 //
+// The job matrix is expanded by farm::submit_matrix — the same canonical
+// expansion the majcd daemon uses — so a campaign served over the socket
+// protocol is byte-identical to this CLI's --json output for the same
+// parameters (tests/test_serve.cpp pins this).
+//
 // Exit status: 0 when every job validated and halted; 1 otherwise, with a
 // per-job failure digest (kernel, mode, seed, classified reason, attempts)
-// on stderr so CI logs show *what* failed without re-running the campaign.
+// on stderr so CI logs show *what* failed without re-running the campaign;
+// 2 on usage errors, including a campaign matrix that expands to zero jobs.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -28,53 +34,12 @@
 
 #include "src/farm/campaign.h"
 #include "src/farm/farm.h"
-#include "src/kernels/biquad.h"
-#include "src/kernels/bitrev.h"
-#include "src/kernels/cfir.h"
-#include "src/kernels/color_convert.h"
-#include "src/kernels/convolve.h"
-#include "src/kernels/dct_quant.h"
-#include "src/kernels/fft.h"
-#include "src/kernels/fir.h"
-#include "src/kernels/idct.h"
 #include "src/kernels/kernel.h"
-#include "src/kernels/lms.h"
-#include "src/kernels/max_search.h"
-#include "src/kernels/mb_decode.h"
-#include "src/kernels/motion_est.h"
-#include "src/kernels/vld.h"
+#include "src/kernels/table12.h"
 
 using namespace majc;
 
 namespace {
-
-struct NamedKernel {
-  const char* name;
-  kernels::KernelSpec (*make)();
-};
-
-/// The 16 Table 1/2 kernels, in the canonical sweep order.
-std::vector<NamedKernel> table12_kernels() {
-  using namespace kernels;
-  return {
-      {"biquad", [] { return make_biquad_spec(); }},
-      {"fir", [] { return make_fir_spec(); }},
-      {"iir", [] { return make_iir_spec(); }},
-      {"cfir", [] { return make_cfir_spec(); }},
-      {"lms", [] { return make_lms_spec(); }},
-      {"max_search", [] { return make_max_search_spec(); }},
-      {"bitrev", [] { return make_bitrev_spec(); }},
-      {"fft_radix2", [] { return make_fft_radix2_spec(); }},
-      {"fft_radix4", [] { return make_fft_radix4_spec(); }},
-      {"idct", [] { return make_idct_spec(); }},
-      {"dct_quant", [] { return make_dct_quant_spec(); }},
-      {"vld", [] { return make_vld_spec(); }},
-      {"motion_est", [] { return make_motion_est_spec(); }},
-      {"mb_decode", [] { return make_mb_decode_spec(); }},
-      {"convolve", [] { return make_convolve_spec(); }},
-      {"color_convert", [] { return make_color_convert_spec(); }},
-  };
-}
 
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
@@ -102,15 +67,12 @@ int usage() {
 
 int main(int argc, char** argv) {
   unsigned jobs = 0;  // 0 = hardware concurrency
-  u64 base_seed = 0x5eed50a4;
+  farm::MatrixSpec matrix;
+  matrix.base_seed = 0x5eed50a4;
   u64 seeds = 4;
-  bool faults = true;
   bool quiet = false;
-  bool mode_cycle = true, mode_functional = false;
-  sim::ExecBackend backend = sim::ExecBackend::kThreaded;
   std::string kernels_csv;
   const char* json_path = nullptr;
-  farm::JobPolicy policy;  // defaults reproduce the pre-resilience engine
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -119,7 +81,7 @@ int main(int argc, char** argv) {
     } else if (a.size() > 2 && a[0] == '-' && a[1] == 'j') {
       jobs = static_cast<unsigned>(std::strtoul(a.c_str() + 2, nullptr, 10));
     } else if (a.rfind("--seed=", 0) == 0) {
-      base_seed = std::strtoull(a.c_str() + 7, nullptr, 0);
+      matrix.base_seed = std::strtoull(a.c_str() + 7, nullptr, 0);
     } else if (a.rfind("--seeds=", 0) == 0) {
       seeds = std::strtoull(a.c_str() + 8, nullptr, 10);
     } else if (a.rfind("--kernels=", 0) == 0) {
@@ -128,9 +90,9 @@ int main(int argc, char** argv) {
       // Validate at the CLI boundary: a SimMode must never be constructed
       // from an unchecked string (sim_mode_name asserts on bad values).
       const std::string m = a.substr(7);
-      mode_cycle = m == "cycle" || m == "both";
-      mode_functional = m == "functional" || m == "both";
-      if (!mode_cycle && !mode_functional) {
+      matrix.mode_cycle = m == "cycle" || m == "both";
+      matrix.mode_functional = m == "functional" || m == "both";
+      if (!matrix.mode_cycle && !matrix.mode_functional) {
         std::fprintf(stderr,
                      "majc_farm: invalid --mode '%s' (expected cycle, "
                      "functional or both)\n",
@@ -142,9 +104,9 @@ int main(int argc, char** argv) {
       // from a validated string.
       const std::string b = a.substr(10);
       if (b == "interp") {
-        backend = sim::ExecBackend::kInterp;
+        matrix.backend = sim::ExecBackend::kInterp;
       } else if (b == "threaded") {
-        backend = sim::ExecBackend::kThreaded;
+        matrix.backend = sim::ExecBackend::kThreaded;
       } else {
         std::fprintf(stderr,
                      "majc_farm: invalid --backend '%s' (expected interp or "
@@ -153,17 +115,18 @@ int main(int argc, char** argv) {
         return usage();
       }
     } else if (a.rfind("--retries=", 0) == 0) {
-      policy.max_attempts = std::max(
+      matrix.policy.max_attempts = std::max(
           1u,
           static_cast<unsigned>(std::strtoul(a.c_str() + 10, nullptr, 10)));
     } else if (a.rfind("--deadline-secs=", 0) == 0) {
-      policy.host_deadline_secs = std::strtod(a.c_str() + 16, nullptr);
+      matrix.policy.host_deadline_secs = std::strtod(a.c_str() + 16, nullptr);
     } else if (a.rfind("--slice=", 0) == 0) {
-      policy.slice_packets = std::strtoull(a.c_str() + 8, nullptr, 10);
+      matrix.policy.slice_packets = std::strtoull(a.c_str() + 8, nullptr, 10);
     } else if (a.rfind("--backoff-us=", 0) == 0) {
-      policy.backoff_base_us = std::strtoull(a.c_str() + 13, nullptr, 10);
+      matrix.policy.backoff_base_us =
+          std::strtoull(a.c_str() + 13, nullptr, 10);
     } else if (a == "--no-faults") {
-      faults = false;
+      matrix.faults = false;
     } else if (a == "--quiet") {
       quiet = true;
     } else if (a.rfind("--json=", 0) == 0) {
@@ -174,55 +137,37 @@ int main(int argc, char** argv) {
   }
 
   // Select + compile kernels (once; shared by every worker).
-  const std::vector<NamedKernel> all = table12_kernels();
-  std::vector<NamedKernel> selected;
+  const std::vector<kernels::NamedKernel>& all = kernels::table12_kernels();
+  std::vector<const kernels::NamedKernel*> selected;
   if (kernels_csv.empty()) {
-    selected = all;
+    for (const kernels::NamedKernel& nk : all) selected.push_back(&nk);
   } else {
     for (const std::string& want : split_csv(kernels_csv)) {
-      bool found = false;
-      for (const NamedKernel& nk : all) {
-        if (want == nk.name) {
-          selected.push_back(nk);
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
+      const kernels::NamedKernel* nk = kernels::find_table12_kernel(want);
+      if (nk == nullptr) {
         std::fprintf(stderr, "majc_farm: unknown kernel '%s'\n", want.c_str());
         return 2;
       }
+      selected.push_back(nk);
     }
   }
 
   farm::Engine eng;
-  for (const NamedKernel& nk : selected) {
-    kernels::KernelSpec spec = nk.make();
-    spec.name = nk.name;  // canonical sweep name, not the spec's size-tag
-    eng.add_kernel(std::move(spec));
+  for (const kernels::NamedKernel* nk : selected) {
+    eng.add_kernel(kernels::table12_spec(*nk));
   }
 
-  // Submit the matrix: kernel-major, then iteration, then mode — a fixed
-  // submission order is what makes the campaign JSON reproducible.
-  for (u32 ki = 0; ki < eng.num_kernels(); ++ki) {
-    for (u64 it = 0; it < seeds; ++it) {
-      farm::Job job;
-      job.kernel = ki;
-      job.iteration = it;
-      job.policy = policy;
-      job.backend = backend;
-      if (faults) {
-        job.cfg.faults = farm::derive_soak_faults(base_seed, ki, it);
-      }
-      if (mode_cycle) {
-        job.mode = farm::SimMode::kCycle;
-        eng.submit(job);
-      }
-      if (mode_functional) {
-        job.mode = farm::SimMode::kFunctional;
-        eng.submit(job);
-      }
-    }
+  for (u64 it = 0; it < seeds; ++it) matrix.iterations.push_back(it);
+  farm::submit_matrix(eng, matrix);
+
+  // An empty matrix (no kernels selected, or --seeds=0) is a usage error,
+  // not a trivially successful campaign: exit 2 so a mis-built CI sweep
+  // cannot pass green while running nothing (pinned by ctest
+  // farm_empty_matrix).
+  if (eng.jobs().empty()) {
+    std::fprintf(stderr, "majc_farm: empty campaign matrix (no kernels or "
+                         "--seeds=0)\n");
+    return usage();
   }
 
   farm::CampaignStats stats;
@@ -252,7 +197,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "majc_farm: cannot write %s\n", json_path);
       return 2;
     }
-    farm::write_campaign_json(os, eng, results, base_seed);
+    farm::write_campaign_json(os, eng, results, matrix.base_seed);
   }
 
   std::printf(

@@ -1,0 +1,118 @@
+// majcd: long-running campaign-serving daemon over the farm engine.
+//
+// Accepts campaign jobs on a local (AF_UNIX) socket using the
+// length-prefixed majc-req-v1 JSON protocol (DESIGN.md §14): named Table
+// 1/2 kernels or inline assembly source, sim mode, functional backend,
+// fault-seed matrix and JobPolicy. Campaigns run on the deterministic farm
+// engine behind an admission queue with per-client quotas; compiled kernel
+// images are content-addressed and shared across requests; every served
+// campaign's final payload is byte-identical to what `majc_farm --json`
+// writes for the same parameters.
+//
+//   $ ./majcd --socket=/tmp/majcd.sock --workers=2 --concurrency=2 &
+//   $ ./majc_load --socket=/tmp/majcd.sock --connections=4 --requests=8
+//   $ kill -TERM %1      # graceful drain: in-flight campaigns interrupted
+//                        # via their RunControl drain tokens, exit 0
+//
+// SIGTERM/SIGINT drain semantics: stop accepting, answer queued requests
+// with a structured `draining` error, interrupt executing campaigns at
+// their next job/slice boundary, close, remove the socket, exit 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/serve/server.h"
+
+using namespace majc;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: majcd [--socket=PATH] [--workers=N] [--concurrency=N]\n"
+      "             [--queue=N] [--quota=N] [--max-request-bytes=N]\n"
+      "             [--max-jobs=N] [--idle-timeout=SECS] [--quiet]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "majcd.sock";
+  cfg.verbose = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--socket=", 0) == 0) {
+      cfg.socket_path = a.substr(9);
+    } else if (a.rfind("--workers=", 0) == 0) {
+      cfg.workers =
+          static_cast<unsigned>(std::strtoul(a.c_str() + 10, nullptr, 10));
+    } else if (a.rfind("--concurrency=", 0) == 0) {
+      cfg.max_concurrent =
+          static_cast<unsigned>(std::strtoul(a.c_str() + 14, nullptr, 10));
+    } else if (a.rfind("--queue=", 0) == 0) {
+      cfg.max_queue =
+          static_cast<unsigned>(std::strtoul(a.c_str() + 8, nullptr, 10));
+    } else if (a.rfind("--quota=", 0) == 0) {
+      cfg.per_client_quota =
+          static_cast<u32>(std::strtoul(a.c_str() + 8, nullptr, 10));
+    } else if (a.rfind("--max-request-bytes=", 0) == 0) {
+      cfg.max_request_bytes = std::strtoull(a.c_str() + 20, nullptr, 10);
+    } else if (a.rfind("--max-jobs=", 0) == 0) {
+      cfg.max_jobs_per_request = std::strtoull(a.c_str() + 11, nullptr, 10);
+    } else if (a.rfind("--idle-timeout=", 0) == 0) {
+      cfg.idle_timeout_secs = std::strtod(a.c_str() + 15, nullptr);
+    } else if (a == "--quiet") {
+      cfg.verbose = false;
+    } else {
+      return usage();
+    }
+  }
+
+  // Block SIGTERM/SIGINT before any thread exists so every thread inherits
+  // the mask; the main thread then sigwait()s for them — no async handler,
+  // no signal-safety games, just a synchronous "now drain" event.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  if (pthread_sigmask(SIG_BLOCK, &sigs, nullptr) != 0) {
+    std::perror("majcd: pthread_sigmask");
+    return 1;
+  }
+
+  serve::Server server(cfg);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "majcd: %s\n", err.c_str());
+    return 1;
+  }
+
+  int sig = 0;
+  if (sigwait(&sigs, &sig) != 0) {
+    std::fprintf(stderr, "majcd: sigwait failed\n");
+    server.stop();
+    return 1;
+  }
+  if (cfg.verbose) {
+    std::fprintf(stderr, "majcd: received %s, draining\n",
+                 sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  }
+  server.begin_shutdown();
+  server.stop();
+
+  const serve::ServeStats s = server.stats();
+  std::printf("majcd: served %llu campaign(s), %llu job(s); cache %llu "
+              "hit(s) / %llu miss(es); %llu error repl(ies)\n",
+              static_cast<unsigned long long>(s.campaigns_served),
+              static_cast<unsigned long long>(s.jobs_served),
+              static_cast<unsigned long long>(s.cache_hits),
+              static_cast<unsigned long long>(s.cache_misses),
+              static_cast<unsigned long long>(s.errors_sent));
+  return 0;
+}

@@ -354,6 +354,29 @@ FaultConfig derive_soak_faults(u64 base_seed, u64 kernel_idx, u64 iteration) {
   return f;
 }
 
+void submit_matrix(Engine& eng, const MatrixSpec& m) {
+  for (u32 ki = 0; ki < eng.num_kernels(); ++ki) {
+    for (u64 it : m.iterations) {
+      Job job;
+      job.kernel = ki;
+      job.iteration = it;
+      job.policy = m.policy;
+      job.backend = m.backend;
+      if (m.faults) {
+        job.cfg.faults = derive_soak_faults(m.base_seed, ki, it);
+      }
+      if (m.mode_cycle) {
+        job.mode = SimMode::kCycle;
+        eng.submit(job);
+      }
+      if (m.mode_functional) {
+        job.mode = SimMode::kFunctional;
+        eng.submit(job);
+      }
+    }
+  }
+}
+
 kernels::KernelRun WorkerMachines::run(const kernels::CompiledKernel& k,
                                        const Job& job) {
   if (job.mode == SimMode::kFunctional) {

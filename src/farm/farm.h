@@ -330,4 +330,28 @@ private:
 /// majc_farm so both storm identical fault streams for a given base seed.
 FaultConfig derive_soak_faults(u64 base_seed, u64 kernel_idx, u64 iteration);
 
+/// Declarative description of a campaign matrix over an engine's registered
+/// kernels. submit_matrix expands it in the one canonical order —
+/// kernel-major, then iteration, then cycle before functional — which is
+/// what makes two independently built campaigns (the majc_farm CLI and a
+/// daemon-served request, say) byte-identical in majc-farm-v1 JSON: same
+/// kernels + same MatrixSpec => same submission order => same output.
+struct MatrixSpec {
+  /// Fault-stream iteration tags, usually 0..seeds-1. One (cycle and/or
+  /// functional) job is submitted per (kernel, iteration).
+  std::vector<u64> iterations;
+  u64 base_seed = 0;
+  /// Derive per-job FaultConfig via derive_soak_faults(base_seed, kernel,
+  /// iteration); false = clean timing sweep.
+  bool faults = true;
+  bool mode_cycle = true;
+  bool mode_functional = false;
+  sim::ExecBackend backend = sim::ExecBackend::kThreaded;
+  JobPolicy policy;
+};
+
+/// Expand `m` over every kernel registered in `eng`, in the canonical
+/// submission order described above.
+void submit_matrix(Engine& eng, const MatrixSpec& m);
+
 } // namespace majc::farm

@@ -1,0 +1,90 @@
+#include "src/serve/cache.h"
+
+#include "src/kernels/table12.h"
+
+namespace majc::serve {
+
+u64 kernel_cache_key(std::string_view name, std::string_view source) {
+  u64 h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(name);
+  h ^= 0;  // NUL separator: ("ab","c") and ("a","bc") hash differently
+  h *= 0x100000001b3ull;
+  mix(source);
+  return h;
+}
+
+std::shared_ptr<const kernels::CompiledKernel> KernelCache::get_or_compile(
+    const std::string& name, const std::string& source, bool* hit) {
+  const u64 key = kernel_cache_key(name, source);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (auto it = entries_.find(key); it != entries_.end()) {
+      ++hits_;
+      if (hit != nullptr) *hit = true;
+      return it->second;
+    }
+  }
+  // Compile outside the lock: concurrent misses on *different* kernels
+  // must not serialize behind one assembly. Two racing misses on the same
+  // kernel both compile; the insert below keeps whichever landed first and
+  // both count as the misses they were.
+  kernels::KernelSpec spec;
+  spec.name = name;
+  spec.source = source;
+  auto compiled = std::make_shared<const kernels::CompiledKernel>(
+      kernels::compile_kernel(std::move(spec)));
+  std::lock_guard<std::mutex> lk(mu_);
+  ++misses_;
+  auto [it, inserted] = entries_.emplace(key, std::move(compiled));
+  if (hit != nullptr) *hit = false;
+  return it->second;
+}
+
+void KernelCache::preload_table12() {
+  for (const kernels::NamedKernel& nk : kernels::table12_kernels()) {
+    kernels::KernelSpec spec = kernels::table12_spec(nk);
+    const std::string name = spec.name;
+    const u64 key = kernel_cache_key(spec.name, spec.source);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (entries_.count(key) != 0) {
+        named_.emplace(name, key);
+        continue;
+      }
+    }
+    auto compiled = std::make_shared<const kernels::CompiledKernel>(
+        kernels::compile_kernel(std::move(spec)));
+    std::lock_guard<std::mutex> lk(mu_);
+    ++misses_;
+    entries_.emplace(key, std::move(compiled));
+    named_.emplace(name, key);
+  }
+}
+
+std::shared_ptr<const kernels::CompiledKernel> KernelCache::get_named(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto nit = named_.find(name);
+  if (nit == named_.end()) return nullptr;
+  auto it = entries_.find(nit->second);
+  if (it == entries_.end()) return nullptr;
+  ++hits_;
+  return it->second;
+}
+
+KernelCache::Stats KernelCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = entries_.size();
+  return s;
+}
+
+} // namespace majc::serve

@@ -1,0 +1,73 @@
+// Content-addressed cache of compiled kernel images.
+//
+// The expensive front half of a campaign job — assemble the source,
+// predecode it into a sim::Program, warm the threaded-code translation —
+// is a pure function of the kernel source text. The daemon therefore keys
+// compiled images by an FNV-1a hash of (name, source): the first request
+// for a given source pays the compile (a miss), every subsequent request
+// aliases the same immutable CompiledKernel (a hit), across clients and
+// across campaigns. Correctness does not depend on the cache: a cached and
+// a cold-compiled kernel produce byte-identical campaign JSON
+// (tests/test_serve_cache.cpp pins this), so the cache is purely a
+// throughput feature.
+//
+// The name participates in the key because it is guest-visible (campaign
+// JSON reports spec.name): two requests submitting the same source under
+// different names must not alias one entry, or the second would be reported
+// under the first one's name. Distinct sources never collide regardless of
+// name (the hash covers every byte of both, NUL-separated).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/kernels/kernel.h"
+
+namespace majc::serve {
+
+/// FNV-1a 64 over (name, '\0', source) — the cache key derivation, exposed
+/// for tests.
+u64 kernel_cache_key(std::string_view name, std::string_view source);
+
+class KernelCache {
+public:
+  struct Stats {
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 entries = 0;
+  };
+
+  /// Look up (name, source); compile + insert on miss. Returns a shared
+  /// immutable image — safe to run concurrently from any number of
+  /// machines (the farm's shared-predecode discipline). `hit` (optional)
+  /// reports whether this call was served from cache. Throws majc::Error
+  /// when the source fails to assemble (nothing is inserted).
+  std::shared_ptr<const kernels::CompiledKernel> get_or_compile(
+      const std::string& name, const std::string& source,
+      bool* hit = nullptr);
+
+  /// Precompile the 16 Table 1/2 kernels under their canonical names so
+  /// named requests never pay a compile. Counted as misses (they are).
+  /// Unlike source requests, these entries carry the registry specs'
+  /// setup/validate closures, so named campaigns validate against the
+  /// golden models exactly like majc_farm runs.
+  void preload_table12();
+
+  /// Preloaded named-kernel lookup; nullptr when unknown. Counts as a hit.
+  std::shared_ptr<const kernels::CompiledKernel> get_named(
+      const std::string& name);
+
+  Stats stats() const;
+
+private:
+  mutable std::mutex mu_;
+  std::unordered_map<u64, std::shared_ptr<const kernels::CompiledKernel>>
+      entries_;
+  std::unordered_map<std::string, u64> named_;  // canonical name -> key
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+} // namespace majc::serve

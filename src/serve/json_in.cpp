@@ -1,0 +1,288 @@
+#include "src/serve/json_in.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace majc::serve {
+namespace {
+
+/// Hard nesting ceiling: protocol requests are a handful of levels deep;
+/// anything deeper is an attack or a bug, and recursing into it would risk
+/// the server's stack.
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string err;
+
+  bool fail(const char* msg) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s at offset %zu", msg, pos);
+    err = buf;
+    return false;
+  }
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = text[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char want, const char* msg) {
+    if (eof() || text[pos] != want) return fail(msg);
+    ++pos;
+    return true;
+  }
+
+  bool parse_value(JValue* out, int depth);
+
+  bool parse_literal(std::string_view lit, const char* msg) {
+    if (text.substr(pos, lit.size()) != lit) return fail(msg);
+    pos += lit.size();
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"', "expected string")) return false;
+    out->clear();
+    while (true) {
+      if (eof()) return fail("unterminated string");
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (eof()) return fail("unterminated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          u32 cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<u32>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<u32>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<u32>(h - 'A' + 10);
+            } else {
+              return fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences — the writer never emits them
+          // and the protocol treats strings as byte sequences).
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parse_number(JValue* out) {
+    const std::size_t start = pos;
+    if (!eof() && peek() == '-') ++pos;
+    bool integral = true;
+    while (!eof()) {
+      const char c = peek();
+      if (c >= '0' && c <= '9') {
+        ++pos;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == start) return fail("expected number");
+    const std::string lit(text.substr(start, pos - start));
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(lit.c_str(), &end);
+    if (end != lit.c_str() + lit.size() || errno == ERANGE ||
+        !std::isfinite(d)) {
+      return fail("malformed number");
+    }
+    out->kind = JValue::Kind::kNumber;
+    out->number = d;
+    out->is_int = false;
+    out->is_neg_int = false;
+    if (integral) {
+      // Exact integer capture (u64 round trip; strtod alone rounds >2^53).
+      errno = 0;
+      if (lit[0] == '-') {
+        const long long v = std::strtoll(lit.c_str(), &end, 10);
+        if (errno == 0 && end == lit.c_str() + lit.size()) {
+          out->integer = static_cast<u64>(v);
+          out->is_int = true;
+          out->is_neg_int = true;
+        }
+      } else {
+        const unsigned long long v = std::strtoull(lit.c_str(), &end, 10);
+        if (errno == 0 && end == lit.c_str() + lit.size()) {
+          out->integer = v;
+          out->is_int = true;
+        }
+      }
+    }
+    return true;
+  }
+};
+
+bool Parser::parse_value(JValue* out, int depth) {
+  if (depth > kMaxDepth) return fail("nesting too deep");
+  skip_ws();
+  if (eof()) return fail("unexpected end of input");
+  const char c = peek();
+  switch (c) {
+    case 'n':
+      out->kind = JValue::Kind::kNull;
+      return parse_literal("null", "expected null");
+    case 't':
+      out->kind = JValue::Kind::kBool;
+      out->boolean = true;
+      return parse_literal("true", "expected true");
+    case 'f':
+      out->kind = JValue::Kind::kBool;
+      out->boolean = false;
+      return parse_literal("false", "expected false");
+    case '"':
+      out->kind = JValue::Kind::kString;
+      return parse_string(&out->str);
+    case '[': {
+      ++pos;
+      out->kind = JValue::Kind::kArray;
+      skip_ws();
+      if (!eof() && peek() == ']') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        JValue elem;
+        if (!parse_value(&elem, depth + 1)) return false;
+        out->arr.push_back(std::move(elem));
+        skip_ws();
+        if (eof()) return fail("unterminated array");
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        return consume(']', "expected ',' or ']'");
+      }
+    }
+    case '{': {
+      ++pos;
+      out->kind = JValue::Kind::kObject;
+      skip_ws();
+      if (!eof() && peek() == '}') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key)) return false;
+        skip_ws();
+        if (!consume(':', "expected ':'")) return false;
+        JValue val;
+        if (!parse_value(&val, depth + 1)) return false;
+        if (out->find(key) == nullptr) {
+          out->obj.emplace_back(std::move(key), std::move(val));
+        }
+        skip_ws();
+        if (eof()) return fail("unterminated object");
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        return consume('}', "expected ',' or '}'");
+      }
+    }
+    default:
+      return parse_number(out);
+  }
+}
+
+} // namespace
+
+const JValue* JValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool JValue::member_bool(std::string_view key, bool dflt) const {
+  const JValue* v = find(key);
+  return v != nullptr ? v->get_bool(dflt) : dflt;
+}
+
+double JValue::member_double(std::string_view key, double dflt) const {
+  const JValue* v = find(key);
+  return v != nullptr ? v->get_double(dflt) : dflt;
+}
+
+u64 JValue::member_u64(std::string_view key, u64 dflt) const {
+  const JValue* v = find(key);
+  return v != nullptr ? v->get_u64(dflt) : dflt;
+}
+
+std::string JValue::member_string(std::string_view key,
+                                  const std::string& dflt) const {
+  const JValue* v = find(key);
+  return v != nullptr ? v->get_string(dflt) : dflt;
+}
+
+bool json_parse(std::string_view text, JValue* out, std::string* err) {
+  Parser p{text, 0, {}};
+  *out = JValue{};
+  if (!p.parse_value(out, 0)) {
+    if (err != nullptr) *err = p.err;
+    return false;
+  }
+  p.skip_ws();
+  if (!p.eof()) {
+    if (err != nullptr) *err = "trailing bytes after JSON value";
+    return false;
+  }
+  return true;
+}
+
+} // namespace majc::serve

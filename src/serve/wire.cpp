@@ -1,0 +1,148 @@
+#include "src/serve/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace majc::serve {
+namespace {
+
+/// recv() exactly `n` bytes. Distinguishes orderly EOF, timeout and error;
+/// loops over short reads and EINTR.
+WireStatus recv_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return WireStatus::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return WireStatus::kTimeout;
+    return WireStatus::kError;
+  }
+  return WireStatus::kOk;
+}
+
+WireStatus send_all(int fd, const char* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return WireStatus::kError;
+  }
+  return WireStatus::kOk;
+}
+
+void errno_msg(const char* what, std::string* err) {
+  if (err != nullptr) {
+    *err = std::string(what) + ": " + std::strerror(errno);
+  }
+}
+
+} // namespace
+
+WireStatus read_frame(int fd, std::string* payload, u64 max_payload) {
+  char hdr[4];
+  WireStatus st = recv_exact(fd, hdr, sizeof hdr);
+  if (st != WireStatus::kOk) return st;
+  const u32 len = static_cast<u32>(static_cast<unsigned char>(hdr[0])) |
+                  static_cast<u32>(static_cast<unsigned char>(hdr[1])) << 8 |
+                  static_cast<u32>(static_cast<unsigned char>(hdr[2])) << 16 |
+                  static_cast<u32>(static_cast<unsigned char>(hdr[3])) << 24;
+  if (len > max_payload) return WireStatus::kTooBig;
+  payload->resize(len);
+  if (len == 0) return WireStatus::kOk;
+  return recv_exact(fd, payload->data(), len);
+}
+
+WireStatus write_frame(int fd, std::string_view payload) {
+  const u64 len = payload.size();
+  if (len > 0xFFFFFFFFull) return WireStatus::kTooBig;
+  const char hdr[4] = {
+      static_cast<char>(len & 0xFF),
+      static_cast<char>((len >> 8) & 0xFF),
+      static_cast<char>((len >> 16) & 0xFF),
+      static_cast<char>((len >> 24) & 0xFF),
+  };
+  WireStatus st = send_all(fd, hdr, sizeof hdr);
+  if (st != WireStatus::kOk) return st;
+  if (payload.empty()) return WireStatus::kOk;
+  return send_all(fd, payload.data(), payload.size());
+}
+
+int listen_unix(const std::string& path, int backlog, std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    if (err != nullptr) *err = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    errno_msg("socket", err);
+    return -1;
+  }
+  // Replace a stale socket file from a previous (crashed) daemon; a live
+  // daemon still holds its listen socket, so bind() below would fail with
+  // EADDRINUSE only in a true double-start race, which we let surface.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    errno_msg("bind", err);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) < 0) {
+    errno_msg("listen", err);
+    ::close(fd);
+    ::unlink(path.c_str());
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path, std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    if (err != nullptr) *err = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    errno_msg("socket", err);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    errno_msg("connect", err);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool set_recv_timeout(int fd, double seconds) {
+  timeval tv{};
+  if (seconds > 0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(
+                                                         tv.tv_sec)) *
+                                          1e6);
+  }
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) == 0;
+}
+
+} // namespace majc::serve

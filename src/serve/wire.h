@@ -1,0 +1,61 @@
+// Length-prefixed framing over local (AF_UNIX) stream sockets.
+//
+// Every majc-req-v1 / majc-rsp-v1 message is one frame: a 4-byte
+// little-endian payload length followed by exactly that many payload bytes.
+// Frames are self-delimiting, so a reader always knows whether it is
+// resynchronized (it is, at every frame boundary) and a writer can stream a
+// raw campaign-JSON payload byte-exactly without JSON-in-JSON escaping.
+//
+// The read side is written for hostile peers: a header announcing more than
+// `max_payload` bytes returns kTooBig *without reading the payload* (the
+// connection is then unrecoverable and must be closed — the unread bytes
+// make resync impossible); a peer that disappears mid-frame returns kEof;
+// a receive timeout (SO_RCVTIMEO armed by the server) returns kTimeout.
+// Writes use MSG_NOSIGNAL so a disconnected client surfaces as an error
+// return, never a SIGPIPE.
+#pragma once
+
+#include <string>
+
+#include "src/support/types.h"
+
+namespace majc::serve {
+
+enum class WireStatus : u8 {
+  kOk = 0,
+  kEof,      // orderly close (or close mid-frame: truncated frame)
+  kTooBig,   // announced length exceeds max_payload; connection is dead
+  kTimeout,  // SO_RCVTIMEO expired mid-read
+  kError,    // errno-level failure
+};
+
+constexpr const char* wire_status_name(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kEof: return "eof";
+    case WireStatus::kTooBig: return "too-big";
+    case WireStatus::kTimeout: return "timeout";
+    case WireStatus::kError: return "error";
+  }
+  return "?";
+}
+
+/// Read one frame into `payload` (replaced). `max_payload` bounds the
+/// announced length this reader will accept.
+WireStatus read_frame(int fd, std::string* payload, u64 max_payload);
+
+/// Write one frame (header + payload). Handles partial writes; returns
+/// kError on a broken peer (EPIPE/ECONNRESET — suppressed SIGPIPE).
+WireStatus write_frame(int fd, std::string_view payload);
+
+/// Create + bind + listen on a unix stream socket at `path`, replacing any
+/// stale socket file. Returns the listening fd or -1 (err filled).
+int listen_unix(const std::string& path, int backlog, std::string* err);
+
+/// Connect to a unix stream socket. Returns fd or -1 (err filled).
+int connect_unix(const std::string& path, std::string* err);
+
+/// Arm SO_RCVTIMEO on `fd` (0 disables). Returns false on setsockopt error.
+bool set_recv_timeout(int fd, double seconds);
+
+} // namespace majc::serve

@@ -1,0 +1,29 @@
+# Pin majc_farm's empty-campaign-matrix behaviour: a matrix that expands to
+# zero jobs (here: --seeds=0) is a usage error — exit 2 with a diagnostic —
+# not a vacuously green run. Guards CI sweeps against misconfiguration that
+# would otherwise "pass" while running nothing.
+#
+# Invoked as:
+#   cmake -DMAJC_FARM=<path-to-majc_farm> -P farm_empty_matrix.cmake
+
+execute_process(
+  COMMAND ${MAJC_FARM} --seeds=0
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR
+          "majc_farm --seeds=0 exited ${rc}, expected 2 (stderr: ${err})")
+endif()
+
+if(NOT err MATCHES "empty campaign matrix")
+  message(FATAL_ERROR
+          "majc_farm --seeds=0 stderr missing the empty-matrix diagnostic: "
+          "${err}")
+endif()
+
+if(NOT err MATCHES "usage: majc_farm")
+  message(FATAL_ERROR
+          "majc_farm --seeds=0 stderr missing the usage text: ${err}")
+endif()

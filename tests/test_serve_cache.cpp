@@ -1,0 +1,186 @@
+// Kernel-cache coverage for the serving daemon (src/serve/cache.h).
+//
+// The cache must be a pure throughput feature: hit/miss accounting is
+// exact, distinct (name, source) pairs never alias, and a cache-served
+// kernel produces campaign bytes identical to a cold compile. The last
+// test drives the counters through a live Server's stats frames so the
+// daemon-visible numbers are pinned too.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+
+#include "src/farm/campaign.h"
+#include "src/farm/farm.h"
+#include "src/kernels/table12.h"
+#include "src/serve/cache.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+
+using namespace majc;
+
+namespace {
+
+constexpr const char* kTinySource = "halt\n";
+constexpr const char* kTinySource2 = "nop\nhalt\n";
+
+TEST(KernelCacheKey, DistinctInputsDistinctKeys) {
+  const u64 base = serve::kernel_cache_key("a", kTinySource);
+  EXPECT_EQ(base, serve::kernel_cache_key("a", kTinySource));
+  EXPECT_NE(base, serve::kernel_cache_key("a", kTinySource2));
+  EXPECT_NE(base, serve::kernel_cache_key("b", kTinySource));
+  // The NUL separator keeps the (name, source) boundary in the hash: moving
+  // a byte across it must change the key.
+  EXPECT_NE(serve::kernel_cache_key("ab", "c"),
+            serve::kernel_cache_key("a", "bc"));
+}
+
+TEST(KernelCache, HitMissAccountingIsExact) {
+  serve::KernelCache cache;
+  bool hit = true;
+  const auto k1 = cache.get_or_compile("tiny", kTinySource, &hit);
+  ASSERT_NE(k1, nullptr);
+  EXPECT_FALSE(hit);
+
+  const auto k2 = cache.get_or_compile("tiny", kTinySource, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(k1.get(), k2.get());  // aliases, not a copy
+
+  serve::KernelCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.entries, 1u);
+
+  // Same source under a different name must NOT alias (the name is
+  // guest-visible in campaign JSON).
+  const auto k3 = cache.get_or_compile("other", kTinySource, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(k1.get(), k3.get());
+
+  // Different source under the same name: also a distinct entry.
+  const auto k4 = cache.get_or_compile("tiny", kTinySource2, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(k1.get(), k4.get());
+
+  s = cache.stats();
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.entries, 3u);
+}
+
+TEST(KernelCache, AssemblyFailureInsertsNothing) {
+  serve::KernelCache cache;
+  EXPECT_THROW(cache.get_or_compile("bad", "frobnicate g1\n"), std::exception);
+  const serve::KernelCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.hits, 0u);
+  // A later good compile under the same name is unaffected.
+  bool hit = true;
+  EXPECT_NE(cache.get_or_compile("bad", kTinySource, &hit), nullptr);
+  EXPECT_FALSE(hit);
+}
+
+TEST(KernelCache, PreloadedTable12ServesNamedLookups) {
+  serve::KernelCache cache;
+  cache.preload_table12();
+  serve::KernelCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 16u);
+  EXPECT_EQ(s.misses, 16u);  // the preload compiles are real misses
+  EXPECT_EQ(s.hits, 0u);
+
+  for (const kernels::NamedKernel& nk : kernels::table12_kernels()) {
+    const auto k = cache.get_named(nk.name);
+    ASSERT_NE(k, nullptr) << nk.name;
+    EXPECT_EQ(k->spec.name, nk.name);
+  }
+  EXPECT_EQ(cache.get_named("definitely_not_a_kernel"), nullptr);
+
+  s = cache.stats();
+  EXPECT_EQ(s.hits, 16u);
+  EXPECT_EQ(s.misses, 16u);
+}
+
+TEST(KernelCache, CachedKernelRunsByteIdenticalToColdCompile) {
+  // Cold: compile directly through an Engine from the spec.
+  kernels::KernelSpec spec;
+  spec.name = "tiny";
+  spec.source = kTinySource;
+  farm::Engine cold;
+  cold.add_kernel(spec);
+
+  // Cached: second get_or_compile returns the shared image.
+  serve::KernelCache cache;
+  cache.get_or_compile("tiny", kTinySource);
+  bool hit = false;
+  const auto cached_k = cache.get_or_compile("tiny", kTinySource, &hit);
+  ASSERT_TRUE(hit);
+  farm::Engine cached;
+  cached.add_kernel(*cached_k);
+
+  farm::MatrixSpec m;
+  m.iterations = {0, 1};
+  m.base_seed = 0x5eed50a4;
+  m.mode_cycle = true;
+  m.mode_functional = true;
+  farm::submit_matrix(cold, m);
+  farm::submit_matrix(cached, m);
+
+  const std::string cold_json =
+      farm::campaign_json(cold, cold.run(1u), m.base_seed);
+  const std::string cached_json =
+      farm::campaign_json(cached, cached.run(1u), m.base_seed);
+  EXPECT_EQ(cold_json, cached_json);
+}
+
+TEST(KernelCache, ServerStatsExposeHitMissCounters) {
+  serve::ServerConfig cfg;
+  cfg.socket_path =
+      "/tmp/majcd-cache-" + std::to_string(::getpid()) + ".sock";
+  serve::Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  serve::Client c;
+  ASSERT_TRUE(c.connect(cfg.socket_path, &err)) << err;
+  serve::ServeStats s;
+  ASSERT_TRUE(serve::fetch_stats(c, 1, &s, &err)) << err;
+  EXPECT_EQ(s.cache_misses, 16u);  // table12 preload
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.cache_entries, 16u);
+
+  // A named campaign hits once per requested kernel.
+  serve::CampaignRequest req;
+  req.id = 2;
+  req.kernels = {"fir", "bitrev"};
+  req.mode = "functional";
+  serve::CampaignReply reply;
+  ASSERT_TRUE(serve::run_campaign(c, req, &reply, &err)) << err;
+  ASSERT_TRUE(reply.ok) << reply.error_code;
+  ASSERT_TRUE(serve::fetch_stats(c, 3, &s, &err)) << err;
+  EXPECT_EQ(s.cache_hits, 2u);
+  EXPECT_EQ(s.cache_misses, 16u);
+
+  // An inline source: first request misses (compiles), the repeat hits, and
+  // both serve identical bytes.
+  serve::CampaignRequest src;
+  src.id = 4;
+  src.source_name = "tiny";
+  src.source_text = kTinySource;
+  src.mode = "functional";
+  serve::CampaignReply first, second;
+  ASSERT_TRUE(serve::run_campaign(c, src, &first, &err)) << err;
+  ASSERT_TRUE(first.ok) << first.error_code;
+  ASSERT_TRUE(serve::run_campaign(c, src, &second, &err)) << err;
+  ASSERT_TRUE(second.ok) << second.error_code;
+  EXPECT_EQ(first.campaign, second.campaign);
+
+  ASSERT_TRUE(serve::fetch_stats(c, 5, &s, &err)) << err;
+  EXPECT_EQ(s.cache_hits, 3u);
+  EXPECT_EQ(s.cache_misses, 17u);
+  EXPECT_EQ(s.cache_entries, 17u);
+
+  server.stop();
+}
+
+} // namespace
