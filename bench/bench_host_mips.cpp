@@ -303,6 +303,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+    } else if (arg.rfind("--json-out=", 0) == 0) {  // alias for CI recipes
+      out_path = arg.substr(11);
     } else if (arg.rfind("--baseline=", 0) == 0) {
       baseline_path = arg.substr(11);
     } else if (arg.rfind("--min-time=", 0) == 0) {
@@ -311,8 +313,8 @@ int main(int argc, char** argv) {
       tolerance = std::strtod(arg.c_str() + 12, nullptr);
     } else {
       std::fprintf(stderr,
-                   "usage: bench_host_mips [--out=FILE] [--baseline=FILE] "
-                   "[--min-time=SECS] [--tolerance=FRAC]\n");
+                   "usage: bench_host_mips [--out=FILE | --json-out=FILE] "
+                   "[--baseline=FILE] [--min-time=SECS] [--tolerance=FRAC]\n");
       return 2;
     }
   }

@@ -24,10 +24,17 @@ CycleCpu::CycleCpu(const sim::Program& prog, sim::MemoryBus& mem,
                    mem::MemorySystem& ms, u32 cpu_id)
     : prog_(prog),
       ms_(ms),
+      lsu_(ms.lsu(cpu_id)),
       cfg_(ms.config()),
       cpu_id_(cpu_id),
       env_{mem},
       bpred_(ms.config()) {
+  for (u32 p = 0; p <= kNoProducer; ++p) {
+    for (u32 fu = 0; fu < isa::kNumFus; ++fu) {
+      bypass_tbl_[p][fu] = static_cast<u8>(
+          bypass_delay(static_cast<u8>(p), static_cast<u8>(fu), cfg_));
+    }
+  }
   env_.cpu_id = cpu_id;
   env_.trap_div_zero = cfg_.trap_div_zero;
   env_.console = &console_;
@@ -71,10 +78,12 @@ CycleCpu::IssueEstimate CycleCpu::issue_time(ThreadCtx& th,
   est.ifetch = t - t0;
 
   // (2) Operand availability (scoreboard interlock + bypass matrix), over
-  // the packet's predecoded flat source list.
+  // the packet's predecoded flat source list. Branch-free: see
+  // Scoreboard::entry() for why done + table[producer][fu] == ready().
   const Cycle t_ops = t;
   for (const auto& s : m.srcs) {
-    t = std::max(t, th.sb.ready(s.reg, s.fu, cfg_));
+    const Scoreboard::Entry& e = th.sb.entry(s.reg);
+    t = std::max(t, e.done + bypass_tbl_[e.producer][s.fu]);
   }
   est.operand = t - t_ops;
 
@@ -92,53 +101,61 @@ CycleCpu::IssueEstimate CycleCpu::issue_time(ThreadCtx& th,
   return est;
 }
 
+bool CycleCpu::handle_trap(const TrapException& e) {
+  // The faulting packet committed no register writes, so the active
+  // thread's pc still names it — except for LSU-raised machine checks,
+  // which surface after commit (the LSU issues post-commit) and therefore
+  // report the next packet's pc: an imprecise, asynchronous machine check,
+  // still cleanly resumable via RETT.
+  ThreadCtx& th = threads_[active_];
+  Trap t = e.trap();
+  t.cpu = cpu_id_;
+  t.pc = th.state.pc;
+  t.cycle = std::max(current_cycle_, th.ready);
+  t.unit = TimeUnit::kCycles;
+  if (th.state.can_deliver(t.deliverable)) {
+    // Recover: vector this thread into its handler and keep the CPU
+    // running. Entry costs trap_entry_penalty cycles of front-end refill.
+    const u32 fidx = prog_.find_index(th.state.pc);
+    const Addr npc = fidx == sim::kNoPacketIndex
+                         ? th.state.pc
+                         : prog_.meta(fidx).fall_through;
+    th.state.deliver_trap(static_cast<u32>(t.code), t.pc, npc, t.value);
+    th.idx = sim::kNoPacketIndex;
+    th.idx_pc = th.state.pc;
+    th.ready = t.cycle + cfg_.trap_entry_penalty;
+    ++stats_.traps_delivered;
+    last_trap_ = std::move(t);
+    update_now_cache();
+    return true;
+  }
+  trap_ = std::move(t);
+  return false;
+}
+
 void CycleCpu::step() {
   if (halted()) return;
   try {
     step_impl();
   } catch (const TrapException& e) {
-    // The faulting packet committed no register writes, so the active
-    // thread's pc still names it — except for LSU-raised machine checks,
-    // which surface after commit (the LSU issues post-commit) and therefore
-    // report the next packet's pc: an imprecise, asynchronous machine check,
-    // still cleanly resumable via RETT.
-    ThreadCtx& th = threads_[active_];
-    Trap t = e.trap();
-    t.cpu = cpu_id_;
-    t.pc = th.state.pc;
-    t.cycle = std::max(current_cycle_, th.ready);
-    t.unit = TimeUnit::kCycles;
-    if (th.state.can_deliver(t.deliverable)) {
-      // Recover: vector this thread into its handler and keep the CPU
-      // running. Entry costs trap_entry_penalty cycles of front-end refill.
-      const u32 fidx = prog_.find_index(th.state.pc);
-      const Addr npc = fidx == sim::kNoPacketIndex
-                           ? th.state.pc
-                           : prog_.meta(fidx).fall_through;
-      th.state.deliver_trap(static_cast<u32>(t.code), t.pc, npc, t.value);
-      th.idx = sim::kNoPacketIndex;
-      th.idx_pc = th.state.pc;
-      th.ready = t.cycle + cfg_.trap_entry_penalty;
-      ++stats_.traps_delivered;
-      last_trap_ = std::move(t);
-      update_now_cache();
-      return;
-    }
-    trap_ = std::move(t);
+    handle_trap(e);
   }
 }
 
-void CycleCpu::step_impl() {
-  // Schedule: stay on the active thread unless it halted.
-  if (threads_[active_].state.halted) {
-    for (u32 i = 0; i < threads_.size(); ++i) {
-      if (!threads_[i].state.halted) {
-        active_ = i;
-        break;
+template <bool kFast>
+void CycleCpu::step_body() {
+  if constexpr (!kFast) {
+    // Schedule: stay on the active thread unless it halted.
+    if (threads_[active_].state.halted) {
+      for (u32 i = 0; i < threads_.size(); ++i) {
+        if (!threads_[i].state.halted) {
+          active_ = i;
+          break;
+        }
       }
     }
   }
-  ThreadCtx* th = &threads_[active_];
+  ThreadCtx* th = kFast ? &threads_[0] : &threads_[active_];
   const Addr pc = th->state.pc;
   if (th->idx == sim::kNoPacketIndex || th->idx_pc != pc) {
     th->idx = prog_.index_of(pc);  // traps on a non-packet address
@@ -152,7 +169,7 @@ void CycleCpu::step_impl() {
   // Vertical microthreading: if this thread is about to stall past the
   // threshold and another context could issue sooner (accounting for the
   // switch penalty), switch instead of stalling.
-  if (threads_.size() > 1 && t > th->ready + cfg_.mt_switch_threshold) {
+  if (!kFast && threads_.size() > 1 && t > th->ready + cfg_.mt_switch_threshold) {
     u32 best = active_;
     Cycle best_ready = t;
     for (u32 i = 0; i < threads_.size(); ++i) {
@@ -191,7 +208,7 @@ void CycleCpu::step_impl() {
   // packet's own writebacks reach the scoreboard, and only does under an
   // installed observer (the untraced hot path skips it entirely).
   std::array<u8, kNumBypassPaths> bypass_reads{};
-  if (trace_) {
+  if (!kFast && trace_) {
     for (const auto& s : m.srcs) {
       ++bypass_reads[static_cast<u32>(th->sb.classify(s.reg, s.fu, t, cfg_))];
     }
@@ -201,7 +218,7 @@ void CycleCpu::step_impl() {
   current_cycle_ = t;
   const std::size_t console_before = console_.size();
   const sim::PacketOutcome out =
-      sim::execute_packet(th->state, p, m.fall_through, env_);
+      sim::execute_packet(th->state, p, m, env_, scratch_);
 
   // Watchdog progress: an externally visible effect retired at cycle t.
   if (out.mem.kind == sim::MemAccess::Kind::kStore ||
@@ -215,7 +232,7 @@ void CycleCpu::step_impl() {
   Cycle load_ready = 0;
   Cycle lsu_issue_at = 0;
   if (out.mem.kind != sim::MemAccess::Kind::kNone) {
-    const mem::Lsu::IssueResult r = ms_.lsu(cpu_id_).issue(out.mem, t);
+    const mem::Lsu::IssueResult r = lsu_.issue(out.mem, t);
     lsu_issue_at = r.issue_at;
     if (r.issue_at > t) {
       lsu_stall = r.issue_at - t;
@@ -228,14 +245,19 @@ void CycleCpu::step_impl() {
     load_ready = r.data_ready;
   }
 
-  // Writeback scheduling, from the predecoded per-slot metadata.
-  if (m.any_dests || m.any_resource) {
+  // Writeback scheduling, from the predecoded flat destination list (same
+  // slot order as the old per-slot nested loop; scoreboard and fu_busy_ are
+  // disjoint, so splitting the loops preserves every update).
+  if (m.any_dests) {
+    for (const sim::PacketMeta::DestWrite& d : m.dsts) {
+      const Cycle done =
+          d.load_data ? std::max(load_ready, t + 1) : t + d.latency;
+      th->sb.set(d.reg, done, d.load_data ? kLsuProducer : d.slot);
+    }
+  }
+  if (m.any_resource) {
     for (u32 i = 0; i < m.width; ++i) {
       const sim::PacketMeta::SlotMeta& sm = m.slot[i];
-      const Cycle done =
-          sm.load_data ? std::max(load_ready, t + 1) : t + sm.latency;
-      const u8 producer = sm.load_data ? kLsuProducer : static_cast<u8>(i);
-      for (isa::PhysReg r : sm.dests) th->sb.set(r, done, producer);
       if (sm.resource >= 0) {
         auto& busy = fu_busy_[i][static_cast<u32>(sm.resource)];
         busy = std::max(busy, t + sm.issue_interval);
@@ -278,7 +300,7 @@ void CycleCpu::step_impl() {
   stats_.instrs += out.width;
   stats_.width_hist.add(out.width);
 
-  if (trace_) {
+  if (!kFast && trace_) {
     TraceEvent ev;
     ev.cycle = t;
     ev.pc = pc;
@@ -297,7 +319,50 @@ void CycleCpu::step_impl() {
     ev.mispredicted = next > t + 1 && out.is_cond_branch;
     trace_(ev);
   }
-  update_now_cache();
+  if constexpr (kFast) {
+    // One thread: now() is thread 0's ready cycle whether it halted or not.
+    now_cache_ = th->ready;
+  } else {
+    update_now_cache();
+  }
+}
+
+CycleCpu::RunEnd CycleCpu::run_steps(u64 max_packets, u64 wd,
+                                     Cycle ext_progress, Cycle limit) {
+  bool wd_fired = false;
+  if (threads_.size() == 1 && !trace_) {
+    // Hot loop: dispatch decided once, try/catch per batch entry instead of
+    // per step, end-condition checks on the O(1) now cache.
+    ThreadCtx& th = threads_[0];
+    while (!trap_ && !th.state.halted && stats_.packets < max_packets) {
+      try {
+        step_body<true>();
+      } catch (const TrapException& e) {
+        if (!handle_trap(e)) break;
+      }
+      if (wd != 0 &&
+          now_cache_ > std::max(last_progress_, ext_progress) + wd) {
+        wd_fired = true;
+        break;
+      }
+      if (now_cache_ > limit) break;
+    }
+  } else {
+    while (!halted() && stats_.packets < max_packets) {
+      step();
+      if (wd != 0 &&
+          now_cache_ > std::max(last_progress_, ext_progress) + wd) {
+        wd_fired = true;
+        break;
+      }
+      if (now_cache_ > limit) break;
+    }
+  }
+  if (trap_) return RunEnd::kTrap;
+  if (wd_fired) return RunEnd::kWatchdog;
+  if (halted()) return RunEnd::kHalted;
+  if (stats_.packets >= max_packets) return RunEnd::kBudget;
+  return RunEnd::kLimit;
 }
 
 CycleSim::CycleSim(masm::Image image, const TimingConfig& cfg,
@@ -336,28 +401,28 @@ void CycleSim::reset(sim::ProgramRef program, const TimingConfig& cfg) {
 
 CycleSim::Result CycleSim::run(u64 max_packets) {
   Result res;
-  const u64 wd = ms_->config().watchdog_cycles;
-  bool watchdog_fired = false;
-  while (!cpu_->halted() && cpu_->stats().packets < max_packets) {
-    cpu_->step();
-    if (wd != 0 && cpu_->cached_now() > cpu_->last_progress() + wd) {
-      watchdog_fired = true;
-      break;
-    }
-  }
+  const CycleCpu::RunEnd end = cpu_->run_steps(
+      max_packets, ms_->config().watchdog_cycles, /*ext_progress=*/0,
+      /*limit=*/~Cycle{0});
   res.cycles = cpu_->now();
   res.packets = cpu_->stats().packets;
   res.instrs = cpu_->stats().instrs;
-  if (const Trap* t = cpu_->trap()) {
-    res.reason = TerminationReason::kTrap;
-    res.trap = *t;
-  } else if (watchdog_fired) {
-    res.reason = TerminationReason::kWatchdog;
-  } else if (cpu_->halted()) {
-    res.halted = true;
-    res.reason = TerminationReason::kHalted;
-  } else {
-    res.reason = TerminationReason::kPacketCap;
+  switch (end) {
+    case CycleCpu::RunEnd::kTrap:
+      res.reason = TerminationReason::kTrap;
+      res.trap = *cpu_->trap();
+      break;
+    case CycleCpu::RunEnd::kWatchdog:
+      res.reason = TerminationReason::kWatchdog;
+      break;
+    case CycleCpu::RunEnd::kHalted:
+      res.halted = true;
+      res.reason = TerminationReason::kHalted;
+      break;
+    case CycleCpu::RunEnd::kBudget:
+    case CycleCpu::RunEnd::kLimit:
+      res.reason = TerminationReason::kPacketCap;
+      break;
   }
   return res;
 }

@@ -115,6 +115,27 @@ public:
   /// whole CPU (every context) and is recorded in trap().
   void step();
 
+  /// Why a run_steps() batch stopped.
+  enum class RunEnd : u8 {
+    kTrap,      // machine-level trap stopped the CPU (trap() is set)
+    kWatchdog,  // no externally visible progress for `wd` cycles
+    kHalted,    // every context halted
+    kBudget,    // stats().packets reached max_packets
+    kLimit,     // cached_now() advanced past `limit`
+  };
+
+  /// Step repeatedly until a bound is hit, with the per-step dispatch
+  /// hoisted out of the loop. The watchdog compares cached_now() against
+  /// max(last_progress(), ext_progress) + wd after every step (wd == 0
+  /// disables it); `limit` stops the batch once cached_now() exceeds it —
+  /// the chip scheduler uses it to run the earliest CPU exactly as long as
+  /// the one-step-at-a-time scheduler would have kept picking it, and
+  /// single-CPU harnesses pass ~Cycle{0}. End-condition precedence matches
+  /// the historical single-step run loops: trap > watchdog > halted >
+  /// budget. Single-threaded untraced CPUs run a specialized step body
+  /// (no scheduling scan, no switch heuristic, no trace plumbing).
+  RunEnd run_steps(u64 max_packets, u64 wd, Cycle ext_progress, Cycle limit);
+
   bool halted() const;
   /// The trap that stopped this CPU, if any (nullptr = no trap).
   const Trap* trap() const { return trap_ ? &*trap_ : nullptr; }
@@ -176,17 +197,29 @@ private:
   /// (fetch-ahead happens whether or not the packet then issues), stall
   /// statistics are only recorded by the caller on actual issue.
   IssueEstimate issue_time(ThreadCtx& th, const sim::PacketMeta& m);
-  void step_impl();
+  /// One issue/execute step. kFast specializes for the single-threaded,
+  /// untraced configuration: thread 0 is the only candidate (no scheduling
+  /// scan or switch heuristic), trace attribution is compiled out, and the
+  /// now() cache is thread 0's ready cycle directly.
+  template <bool kFast>
+  void step_body();
+  void step_impl() { step_body<false>(); }
+  /// Deliver a trap raised mid-step: vector into the guest handler when one
+  /// is installed (returns true, CPU keeps running) or record it as the
+  /// machine-level stop reason (returns false).
+  bool handle_trap(const TrapException& e);
   void update_now_cache();
 
   const sim::Program& prog_;
   mem::MemorySystem& ms_;
+  mem::Lsu& lsu_;  // this CPU's LSU (stable: restore() refills in place)
   const TimingConfig& cfg_;
   u32 cpu_id_;
 
   std::vector<ThreadCtx> threads_;
   u32 active_ = 0;
   sim::ExecEnv env_;
+  sim::PacketScratch scratch_;  // reused per-packet executor storage
   BranchPredictor bpred_;
   // Structural busy clocks per FU, split by sub-unit: ops with issue
   // interval 1 never conflict; the iterative divide/rsqrt unit and the
@@ -194,6 +227,10 @@ private:
   // all threads (the paper's threads share the functional units).
   static constexpr u32 kFuResources = 2;  // 0 = iterative, 1 = fp64 pipe
   std::array<std::array<Cycle, kFuResources>, isa::kNumFus> fu_busy_{};
+  // bypass_delay() precomputed over every (producer, consumer) pair for
+  // this config: the operand loop's delay lookup is one indexed load
+  // instead of a branch chain. Filled once in the constructor.
+  std::array<std::array<u8, isa::kNumFus>, kNoProducer + 1> bypass_tbl_{};
   Cycle current_cycle_ = 0;
   Cycle now_cache_ = 0;
   std::string console_;

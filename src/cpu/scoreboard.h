@@ -85,6 +85,15 @@ public:
     return e.done + bypass_delay(e.producer, consumer_fu, cfg);
   }
 
+  /// Raw entry access for the cycle model's branch-free operand loop, which
+  /// replaces ready()'s conditional chain with a precomputed
+  /// (producer, consumer) delay table. The table lookup relies on two
+  /// invariants: g0's entry is never written (set() skips reg 0) and stays
+  /// {done = 0, producer = kNoProducer}; and done == 0 whenever producer ==
+  /// kNoProducer (entries only ever get real producers), so `done +
+  /// table[producer][fu]` equals ready() for every register.
+  const Entry& entry(isa::PhysReg reg) const { return entries_[reg]; }
+
   /// Classify how a read of `reg` by slot `consumer_fu` issuing at `at`
   /// would be delivered. Trace-time only (never on the untraced hot path):
   /// a result that left the bypass window (done + wb_delay <= at) reads from

@@ -6,12 +6,27 @@
 
 namespace majc::mem {
 
+namespace {
+bool is_pow2(u32 v) { return v != 0 && (v & (v - 1)) == 0; }
+u32 log2_u32(u32 v) {
+  u32 n = 0;
+  while ((v >>= 1) != 0) ++n;
+  return n;
+}
+} // namespace
+
 Cache::Cache(const Config& cfg) : cfg_(cfg) {
   require(cfg_.line_bytes > 0 && cfg_.ways > 0 && cfg_.bytes > 0,
           "cache config fields must be positive");
   require(cfg_.bytes % (cfg_.line_bytes * cfg_.ways) == 0,
           "cache size must be a multiple of ways * line size");
   sets_ = cfg_.bytes / (cfg_.line_bytes * cfg_.ways);
+  pow2_ = is_pow2(cfg_.line_bytes) && is_pow2(sets_);
+  if (pow2_) {
+    line_shift_ = log2_u32(cfg_.line_bytes);
+    set_shift_ = log2_u32(sets_);
+    set_mask_ = sets_ - 1;
+  }
   lines_.resize(static_cast<std::size_t>(sets_) * cfg_.ways);
   for (u32 s = 0; s < sets_; ++s) {
     for (u32 w = 0; w < cfg_.ways; ++w) lines_[s * cfg_.ways + w].lru = w;
@@ -21,23 +36,38 @@ Cache::Cache(const Config& cfg) : cfg_(cfg) {
 void Cache::touch(u32 set, u32 way) {
   Line* row = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
   const u32 old = row[way].lru;
+  if (old == 0) return;  // already MRU: no rank moves
   for (u32 w = 0; w < live_ways(); ++w) {
     if (row[w].lru < old) ++row[w].lru;
   }
   row[way].lru = 0;
 }
 
-Cache::AccessResult Cache::access(Addr addr, bool is_store, bool allocate) {
+Cache::AccessResult Cache::access(Addr addr, bool is_store, bool allocate,
+                                  Hint* hint) {
   const u64 line = line_of(addr);
   const u32 set = set_of(line);
   const u64 tag = tag_of(line);
   Line* row = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+
+  // Repeat-hit fast path: the hinted way must still hold this line *and* be
+  // MRU (lru == 0), which makes touch() a provable no-op. Each condition is
+  // re-checked here, so a stale hint can never change behavior.
+  if (hint != nullptr && hint->line == line) {
+    Line& l = row[hint->way];
+    if (l.valid && l.tag == tag && l.lru == 0) {
+      ++hits_;
+      if (is_store) l.dirty = true;
+      return {.hit = true};
+    }
+  }
 
   for (u32 w = 0; w < live_ways(); ++w) {
     if (row[w].valid && row[w].tag == tag) {
       ++hits_;
       if (is_store) row[w].dirty = true;
       touch(set, w);
+      if (hint != nullptr) *hint = {.line = line, .way = w};
       return {.hit = true};
     }
   }
@@ -61,14 +91,19 @@ Cache::AccessResult Cache::access(Addr addr, bool is_store, bool allocate) {
   }
   row[victim] = {.tag = tag, .valid = true, .dirty = is_store, .lru = row[victim].lru};
   touch(set, victim);
+  if (hint != nullptr) *hint = {.line = line, .way = victim};
   return res;
 }
 
-bool Cache::probe(Addr addr) const {
+bool Cache::probe(Addr addr, const Hint* hint) const {
   const u64 line = line_of(addr);
   const u32 set = set_of(line);
   const u64 tag = tag_of(line);
   const Line* row = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  if (hint != nullptr && hint->line == line) {
+    const Line& l = row[hint->way];
+    if (l.valid && l.tag == tag) return true;
+  }
   for (u32 w = 0; w < live_ways(); ++w) {
     if (row[w].valid && row[w].tag == tag) return true;
   }

@@ -4,6 +4,16 @@
 // tags purely for timing: hits, misses, write-backs of dirty victims.
 // Instances: one 16 KB 2-way I$ per CPU and the 16 KB 4-way dual-ported
 // write-back D$ shared by both CPUs (paper §3.1).
+//
+// Hot-path structure (PR 10): address decomposition uses precomputed shifts
+// when the geometry is power-of-two (the paper's configs all are; odd
+// ablation geometries fall back to div/mod), and callers on a repeated
+// access stream pass a Hint so a re-access of the most recent line skips
+// the tag scan and the LRU aging loop entirely. The fast path is
+// self-validating — it re-checks the hinted way's tag, validity and MRU
+// rank on every use — so it never needs invalidation hooks and is exactly
+// equivalent to the general path (MRU means touch() would not move any
+// rank; hit/miss counters advance identically).
 #pragma once
 
 #include <string>
@@ -34,14 +44,44 @@ public:
     Addr victim_line = 0;
   };
 
+  /// Last-line memo for one access stream (one per LSU, one per I$ fetch
+  /// stream). Purely a performance hint: a stale or wrong hint only costs
+  /// the general path. Callers never need to reset it.
+  struct Hint {
+    u64 line = ~u64{0};  // memoized line number (addr / line_bytes)
+    u32 way = 0;
+  };
+
   explicit Cache(const Config& cfg);
 
   /// Look up `addr`; on a miss, allocate the line (if `allocate`), evicting
-  /// LRU. `is_store` marks the line dirty.
-  AccessResult access(Addr addr, bool is_store, bool allocate = true);
+  /// LRU. `is_store` marks the line dirty. `hint`, when given, memoizes the
+  /// stream's last resident line for the repeat-hit fast path.
+  AccessResult access(Addr addr, bool is_store, bool allocate = true,
+                      Hint* hint = nullptr);
 
-  /// Tag probe with no state change.
-  bool probe(Addr addr) const;
+  /// Tag probe with no state change. A hint accelerates the probe but is
+  /// not updated (probe leaves all cache state untouched).
+  bool probe(Addr addr, const Hint* hint = nullptr) const;
+
+  /// Inline repeat-hit fast path: when the hinted way still holds `addr`'s
+  /// line, performs exactly what access() does on that hit — count it, mark
+  /// dirty on stores, promote the way to MRU — without the tag scan. Tags
+  /// are unique within a set, so the hinted way is the way the scan would
+  /// have found. Returns false in every other case — including non-pow2
+  /// geometries — and the caller falls back to the full access().
+  bool hit_fast(Addr addr, bool is_store, const Hint& hint) {
+    if (!pow2_) return false;
+    const u64 line = addr >> line_shift_;
+    if (hint.line != line) return false;
+    const u32 set = static_cast<u32>(line) & set_mask_;
+    Line& l = lines_[static_cast<std::size_t>(set) * cfg_.ways + hint.way];
+    if (!l.valid || l.tag != (line >> set_shift_)) return false;
+    ++hits_;
+    if (is_store) l.dirty = true;
+    if (l.lru != 0) touch(set, hint.way);
+    return true;
+  }
 
   /// Invalidate a single line if present; returns true if it was dirty.
   bool invalidate(Addr addr);
@@ -76,15 +116,28 @@ private:
     u32 lru = 0;  // 0 = most recently used
   };
 
-  u64 line_of(Addr addr) const { return addr / cfg_.line_bytes; }
-  u32 set_of(u64 line) const { return static_cast<u32>(line % sets_); }
-  u64 tag_of(u64 line) const { return line / sets_; }
+  u64 line_of(Addr addr) const {
+    return pow2_ ? addr >> line_shift_ : addr / cfg_.line_bytes;
+  }
+  u32 set_of(u64 line) const {
+    return pow2_ ? static_cast<u32>(line) & set_mask_
+                 : static_cast<u32>(line % sets_);
+  }
+  u64 tag_of(u64 line) const {
+    return pow2_ ? line >> set_shift_ : line / sets_;
+  }
   u32 live_ways() const { return cfg_.ways - disabled_ways_; }
   void touch(u32 set, u32 way);
 
   Config cfg_;
   u32 sets_;
   u32 disabled_ways_ = 0;
+  // Shift/mask decomposition, valid when line_bytes and sets_ are both
+  // powers of two (every paper geometry; ablations may not be).
+  bool pow2_ = false;
+  u32 line_shift_ = 0;
+  u32 set_shift_ = 0;
+  u32 set_mask_ = 0;
   std::vector<Line> lines_;  // sets_ * ways, row-major by set
   u64 hits_ = 0;
   u64 misses_ = 0;

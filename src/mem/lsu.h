@@ -13,8 +13,8 @@
 // 4-MSHR limit meaningful for streaming kernels.
 #pragma once
 
+#include <algorithm>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/mem/cache.h"
@@ -111,13 +111,25 @@ private:
     Cycle done = 0;
   };
 
+  struct MshrEntry {
+    Addr line = 0;
+    Cycle done = 0;
+  };
+
   /// Fetch a line from memory through the crossbar; returns fill-done cycle.
   Cycle fill_line(Addr addr, Cycle now);
   /// Cache lookup + miss handling for a cached access.
   Cycle cached_access(Addr addr, u32 bytes, bool is_store, bool allocate,
                       Cycle now);
   Cycle mshr_ready(Cycle now);
-  void prune(Cycle now);
+  /// Record a completion time entering any buffer class: raises the drain
+  /// peak watermark.
+  void record(Cycle done) { peak_done_ = std::max(peak_done_, done); }
+  /// Recompute the drain watermark from live entries (after checkpoint
+  /// restore). Dead entries' completions are provably dominated by live
+  /// ones or by the resume cycle, so the rebuilt watermark is exact going
+  /// forward.
+  void rebuild_watermarks();
 
   const TimingConfig& cfg_;
   Cache& dcache_;
@@ -128,10 +140,35 @@ private:
   const FaultPlan* plan_ = nullptr;  // injected D$ fill parity faults
   u64 fills_ = 0;
 
+  // Buffered entries are retired LAZILY: scans filter on `done > now`
+  // instead of erasing retired entries up front, and compaction runs only
+  // when a buffer-capacity decision needs the live count. This removes the
+  // three-structure sweep the old prune() ran on every issue. prune_now_
+  // tracks the cycle up to which the eager implementation would have
+  // retired entries — checkpoint save filters on it so the serialized
+  // buffers (and their bytes) are identical to the eager scheme's.
   std::vector<Cycle> loads_;        // completion times of buffered loads
   std::vector<StoreEntry> stores_;  // buffered stores (for forwarding)
-  std::unordered_map<Addr, Cycle> mshr_;  // line addr -> fill done
+  std::vector<MshrEntry> mshr_;     // in-flight line fills (<= cfg_.mshrs)
+  Cycle prune_now_ = 0;
+  // Max completion over every store ever buffered (not checkpointed;
+  // rebuilt like peak_done_): when <= now, no store is live and the
+  // forwarding scan is skipped outright.
+  Cycle store_live_ = 0;
   Cycle blocked_until_ = 0;         // blocking-load ablation
+  // Drain watermark (not checkpointed; rebuilt from live entries on
+  // restore): exact max over every completion ever buffered — makes
+  // drain() O(1) instead of a three-structure scan.
+  Cycle peak_done_ = 0;
+  // This CPU's D$ access memo: direct-mapped by line address, self-
+  // validating (Cache::hit_fast / access re-check the tag store), so
+  // strided multi-array kernels keep several open lines inline at once.
+  static constexpr u32 kDataMemo = 32;
+  u32 line_shift_ = 0;
+  std::array<Cache::Hint, kDataMemo> dhints_{};
+  Cache::Hint& dhint(Addr addr) {
+    return dhints_[(addr >> line_shift_) & (kDataMemo - 1)];
+  }
   // Write-combining buffer for non-allocating (.na) store misses: four
   // open lines so interleaved output streams still combine; one line
   // transfer per touched line instead of a read-for-ownership fill.

@@ -1,5 +1,6 @@
 #include "src/mem/memsys.h"
 
+#include <bit>
 #include <string>
 
 #include "src/support/trap.h"
@@ -16,6 +17,8 @@ MemorySystem::MemorySystem(const TimingConfig& cfg)
                       "icache0"}},
                Cache{{cfg_.icache_bytes, cfg_.icache_ways, cfg_.line_bytes,
                       "icache1"}}} {
+  line_mask_ = ~Addr{cfg_.line_bytes - 1};
+  line_shift_ = static_cast<u32>(std::countr_zero(cfg_.line_bytes));
   xbar_.set_fault_plan(&plan_);
   dcache_.disable_ways(cfg_.dcache_disabled_ways);
   for (auto& ic : icaches_) ic.disable_ways(cfg_.icache_disabled_ways);
@@ -26,15 +29,17 @@ MemorySystem::MemorySystem(const TimingConfig& cfg)
                                    shared_port, &plan_);
 }
 
-Cycle MemorySystem::ifetch(u32 cpu, Addr addr, u32 bytes, Cycle now) {
-  if (cfg_.perfect_icache) return now;
+Cycle MemorySystem::ifetch_lines_slow(u32 cpu, Addr first, Addr last,
+                                      Cycle now) {
   Cache& ic = icaches_[cpu];
   const Port port = cpu == 0 ? Port::kCpu0 : Port::kCpu1;
-  const Addr first = addr & ~Addr{cfg_.line_bytes - 1};
-  const Addr last = (addr + bytes - 1) & ~Addr{cfg_.line_bytes - 1};
   Cycle ready = now;
   for (Addr line = first; line <= last; line += cfg_.line_bytes) {
-    if (!ic.access(line, /*is_store=*/false).hit) {
+    // access() refreshes the line's memo slot on both hit and allocate, so
+    // the next fetch of this line resolves inline.
+    if (!ic.access(line, /*is_store=*/false, /*allocate=*/true,
+                   &fetch_hint(cpu, line))
+             .hit) {
       const Cycle at_mem = xbar_.transfer(port, Port::kMem, 0, now);
       const Cycle dram_done = dram_.request(line, cfg_.line_bytes, at_mem);
       Cycle fill = xbar_.transfer(Port::kMem, port, cfg_.line_bytes, dram_done);

@@ -113,6 +113,17 @@ void exec_control(const isa::Instr& in, u32 fu, const CpuState& st,
 /// simulators so functional and timed runs produce identical console text.
 void format_console_trap(std::string& out, u32 code, u32 value);
 
+/// Reusable slot-effect storage for execute_packet. Only FU0's effects
+/// drive the packet outcome (branch/memory/trap/halt); slots 1..3 are
+/// restricted by their FU masks to pure register-writing classes, so they
+/// share one accumulator and only its `writes` list is ever consumed.
+/// Reusing one scratch across packets avoids re-zero-initializing ~400
+/// bytes of SlotEffects on every packet (the old per-call std::array).
+struct PacketScratch {
+  SlotEffects fx0;  // FU0: fully reset per packet
+  SlotEffects fxn;  // slots 1..3 shared: only `writes` reset/consumed
+};
+
 /// Execute the packet at st.pc (which must equal the packet's address);
 /// commits register writes, performs memory effects and advances st.pc.
 PacketOutcome execute_packet(CpuState& st, const isa::Packet& p, ExecEnv& env);
@@ -121,5 +132,22 @@ PacketOutcome execute_packet(CpuState& st, const isa::Packet& p, ExecEnv& env);
 /// (from PacketMeta), skipping the per-issue p.bytes() recomputation.
 PacketOutcome execute_packet(CpuState& st, const isa::Packet& p,
                              Addr fall_through, ExecEnv& env);
+
+/// Hot-loop variant: caller owns the scratch, so per-packet setup is a few
+/// field resets instead of full SlotEffects construction. All three
+/// overloads produce identical architectural effects.
+PacketOutcome execute_packet(CpuState& st, const isa::Packet& p,
+                             Addr fall_through, ExecEnv& env,
+                             PacketScratch& scratch);
+
+struct PacketMeta;
+
+/// Hottest variant: dispatches each slot on the predecoded per-slot op
+/// class (PacketMeta::SlotMeta::cls) instead of re-reading the OpInfo
+/// table, and takes the fall-through address from the meta. Identical
+/// architectural effects to the other overloads.
+PacketOutcome execute_packet(CpuState& st, const isa::Packet& p,
+                             const PacketMeta& m, ExecEnv& env,
+                             PacketScratch& scratch);
 
 } // namespace majc::sim

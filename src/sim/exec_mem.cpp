@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "src/sim/exec.h"
+#include "src/sim/predecode.h"
 #include "src/support/trap.h"
 
 namespace majc::sim {
@@ -275,37 +276,76 @@ void exec_control(const Instr& in, u32 fu, const CpuState& st, ExecEnv& env,
 }
 
 PacketOutcome execute_packet(CpuState& st, const isa::Packet& p, ExecEnv& env) {
-  return execute_packet(st, p, st.pc + p.bytes(), env);
+  PacketScratch scratch;
+  return execute_packet(st, p, st.pc + p.bytes(), env, scratch);
 }
 
 PacketOutcome execute_packet(CpuState& st, const isa::Packet& p,
                              Addr fall_through, ExecEnv& env) {
+  PacketScratch scratch;
+  return execute_packet(st, p, fall_through, env, scratch);
+}
+
+namespace {
+
+inline void dispatch_slot(const isa::Instr& in, u8 cls, u32 fu, CpuState& st,
+                          ExecEnv& env, SlotEffects& fx) {
+  // kSlotClsNop (never produced by the OpInfo table) matches no case and
+  // falls through: a nop slot dispatches nothing, same as exec_control's
+  // kNop case.
+  switch (static_cast<isa::OpClass>(cls)) {
+    case isa::OpClass::kAlu: exec_alu(in, fu, st, fx); break;
+    case isa::OpClass::kMulDiv: exec_muldiv(in, fu, st, env, fx); break;
+    case isa::OpClass::kSimd: exec_simd(in, fu, st, fx); break;
+    case isa::OpClass::kFp32: exec_fp32(in, fu, st, fx); break;
+    case isa::OpClass::kFp64: exec_fp64(in, fu, st, fx); break;
+    case isa::OpClass::kMem: exec_mem_op(in, fu, st, env, fx); break;
+    case isa::OpClass::kControl: exec_control(in, fu, st, env, fx); break;
+  }
+}
+
+/// Shared body of the scratch-based overloads: `cls_of(i)` supplies each
+/// slot's op class (from the OpInfo table or from predecoded metadata).
+template <typename ClsFn>
+inline PacketOutcome execute_packet_body(CpuState& st, const isa::Packet& p,
+                                         Addr fall_through, ExecEnv& env,
+                                         PacketScratch& scratch,
+                                         ClsFn cls_of) {
   env.packet_pc = st.pc;
   env.fall_through = fall_through;
 
-  std::array<SlotEffects, isa::kMaxSlots> fx;
-  for (u32 i = 0; i < p.width; ++i) {
-    const isa::Instr& in = p.slot[i];
-    switch (in.info().cls) {
-      case isa::OpClass::kAlu: exec_alu(in, i, st, fx[i]); break;
-      case isa::OpClass::kMulDiv: exec_muldiv(in, i, st, env, fx[i]); break;
-      case isa::OpClass::kSimd: exec_simd(in, i, st, fx[i]); break;
-      case isa::OpClass::kFp32: exec_fp32(in, i, st, fx[i]); break;
-      case isa::OpClass::kFp64: exec_fp64(in, i, st, fx[i]); break;
-      case isa::OpClass::kMem: exec_mem_op(in, i, st, env, fx[i]); break;
-      case isa::OpClass::kControl: exec_control(in, i, st, env, fx[i]); break;
-    }
+  // FU0 drives the packet outcome: reset all its consumed fields. The
+  // shared slot-1..3 accumulator only contributes register writes (the FU
+  // masks keep memory/control ops out of those slots), so its flag fields
+  // may hold stale values from earlier packets — they are never read.
+  SlotEffects& f0 = scratch.fx0;
+  f0.writes.clear();
+  f0.mem = MemAccess{};
+  f0.is_cond_branch = false;
+  f0.branch_taken = false;
+  f0.is_call = false;
+  f0.is_jump = false;
+  f0.halt = false;
+  f0.set_tvec = false;
+  f0.is_rett = false;
+  SlotEffects& fn = scratch.fxn;
+  fn.writes.clear();
+
+  if (p.width != 0) dispatch_slot(p.slot[0], cls_of(0), 0, st, env, f0);
+  for (u32 i = 1; i < p.width; ++i) {
+    dispatch_slot(p.slot[i], cls_of(i), i, st, env, fn);
   }
 
-  // Commit register writes after all slots have read their operands.
-  for (u32 i = 0; i < p.width; ++i) {
-    for (const WriteBack& wb : fx[i].writes) st.write(wb.reg, wb.value);
-  }
+  // Commit register writes after all slots have read their operands; fn
+  // accumulated slots 1..3 in slot order, so the commit sequence matches
+  // the old per-slot arrays exactly.
+  for (const WriteBack& wb : f0.writes) st.write(wb.reg, wb.value);
+  for (const WriteBack& wb : fn.writes) st.write(wb.reg, wb.value);
 
   PacketOutcome out;
   out.width = p.width;
   out.next_pc = env.fall_through;
-  const SlotEffects& f0 = fx[0]; // only FU0 can branch or touch memory
+  // Only FU0 can branch or touch memory.
   if (f0.set_tvec) st.tvec = f0.tvec;
   if (f0.is_rett) st.in_trap = false;
   out.mem = f0.mem;
@@ -321,6 +361,24 @@ PacketOutcome execute_packet(CpuState& st, const isa::Packet& p,
   }
   st.pc = out.next_pc;
   return out;
+}
+
+} // namespace
+
+PacketOutcome execute_packet(CpuState& st, const isa::Packet& p,
+                             Addr fall_through, ExecEnv& env,
+                             PacketScratch& scratch) {
+  return execute_packet_body(
+      st, p, fall_through, env, scratch,
+      [&p](u32 i) { return static_cast<u8>(p.slot[i].info().cls); });
+}
+
+PacketOutcome execute_packet(CpuState& st, const isa::Packet& p,
+                             const PacketMeta& m, ExecEnv& env,
+                             PacketScratch& scratch) {
+  return execute_packet_body(
+      st, p, m.fall_through, env, scratch,
+      [&m](u32 i) { return m.slot[i].cls; });
 }
 
 } // namespace majc::sim

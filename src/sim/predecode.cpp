@@ -60,6 +60,10 @@ PacketMeta compute_packet_meta(const isa::Packet& p, Addr pc) {
     sm.issue_interval = info.issue_interval;
     sm.resource = static_cast<i8>(fu_resource_of(info));
     sm.load_data = info.is_load() || info.has(isa::kAtomic);
+    sm.cls = in.op == isa::Op::kNop ? kSlotClsNop : static_cast<u8>(info.cls);
+    for (PhysReg r : sm.dests) {
+      m.dsts.push_back({r, static_cast<u8>(i), sm.latency, sm.load_data});
+    }
     m.any_resource = m.any_resource || sm.resource >= 0;
     m.any_dests = m.any_dests || sm.dests.size() > 0;
   }

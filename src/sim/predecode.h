@@ -41,6 +41,12 @@ constexpr int fu_resource_of(const isa::OpInfo& info) {
   return info.cls == isa::OpClass::kFp64 ? 1 : 0;
 }
 
+/// SlotMeta::cls value marking a nop slot. A nop has no architectural
+/// effects, so the meta-driven executor skips its dispatch outright instead
+/// of routing it through the control-class switch. (The OpInfo-driven
+/// executor still dispatches nops; both produce identical effects.)
+inline constexpr u8 kSlotClsNop = 0xFF;
+
 /// Everything the cycle model's inner loop needs about one packet, hoisted
 /// to decode time.
 struct PacketMeta {
@@ -51,6 +57,16 @@ struct PacketMeta {
     u8 fu = 0;
   };
 
+  /// One register writeback: all slots' destinations, flattened in slot
+  /// order so the cycle model's scoreboard update is a single linear walk
+  /// instead of a per-slot nested loop.
+  struct DestWrite {
+    isa::PhysReg reg = 0;
+    u8 slot = 0;             // producing slot (scoreboard producer id)
+    u8 latency = 1;          // producer latency for non-load results
+    bool load_data = false;  // result delivered by the LSU
+  };
+
   /// Static writeback/structural facts of one slot.
   struct SlotMeta {
     InlineVec<isa::PhysReg, 8> dests;  // physical destination registers
@@ -58,6 +74,7 @@ struct PacketMeta {
     u8 issue_interval = 1;
     i8 resource = -1;       // fu_resource_of(); -1 = fully pipelined
     bool load_data = false; // dests are delivered by the LSU (load/atomic)
+    u8 cls = 0;             // isa::OpClass of the op (executor dispatch)
   };
 
   Addr pc = 0;
@@ -71,6 +88,7 @@ struct PacketMeta {
   bool any_resource = false;         // some slot has resource >= 0
   bool any_dests = false;            // some slot writes a register
   InlineVec<SrcRead, 48> srcs;       // 4 slots x up to 12 sources
+  InlineVec<DestWrite, 32> dsts;     // 4 slots x up to 8 dests, slot order
   std::array<SlotMeta, isa::kMaxSlots> slot{};
 };
 

@@ -52,34 +52,47 @@ Majc5200::Result Majc5200::run(u64 max_packets_per_cpu) {
   const cpu::CycleCpu* trapped = nullptr;
   bool watchdog_fired = false;
   while (true) {
-    // Advance the CPU whose next packet issues earliest in global time.
-    cpu::CycleCpu* next = nullptr;
-    for (auto& c : cpus_) {
-      if (c->halted() || c->stats().packets >= max_packets_per_cpu) continue;
-      if (next == nullptr || c->cached_now() < next->cached_now()) {
-        next = c.get();
+    // Advance the CPU whose next packet issues earliest in global time
+    // (tie: lowest index), and keep advancing it in one batch for exactly
+    // as long as the one-step-at-a-time scheduler would have kept picking
+    // it: CPU0 stays scheduled while now0 <= now1, CPU1 while now1 < now0.
+    // run_steps enforces that bound via `limit`, so the global interleaving
+    // of issued packets — and every shared-structure access order behind
+    // it — is identical to stepping one packet at a time.
+    u32 next = mem::kNumCpus;
+    for (u32 i = 0; i < mem::kNumCpus; ++i) {
+      const cpu::CycleCpu& c = *cpus_[i];
+      if (c.halted() || c.stats().packets >= max_packets_per_cpu) continue;
+      if (next == mem::kNumCpus ||
+          c.cached_now() < cpus_[next]->cached_now()) {
+        next = i;
       }
     }
-    if (next == nullptr) break;
-    next->step();
-    if (next->trap() != nullptr) {
+    if (next == mem::kNumCpus) break;
+    const cpu::CycleCpu& other = *cpus_[1 - next];
+    const bool other_runs =
+        !other.halted() && other.stats().packets < max_packets_per_cpu;
+    // An ineligible peer never preempts the batch; `next == 1` implies
+    // now1 < now0, so the CPU1 bound now0 - 1 cannot underflow.
+    const Cycle limit = !other_runs    ? ~Cycle{0}
+                        : next == 0    ? other.cached_now()
+                                       : other.cached_now() - 1;
+    // Livelock watchdog: global time advanced wd cycles past the last
+    // externally visible effect (store / atomic / console / halt) retired
+    // by ANY cpu. Loads, branches and spin loops are not progress. The
+    // peer's progress clock is frozen while it is not stepping, so passing
+    // it once per batch checks the same bound the per-step loop did.
+    const cpu::CycleCpu::RunEnd end = cpus_[next]->run_steps(
+        max_packets_per_cpu, wd, other.last_progress(), limit);
+    if (end == cpu::CycleCpu::RunEnd::kTrap) {
       // A machine-level trap on either CPU stops the chip so the fault is
       // reported precisely instead of being overwritten by further execution.
-      trapped = next;
+      trapped = cpus_[next].get();
       break;
     }
-    if (wd != 0) {
-      // Livelock watchdog: global time has advanced wd cycles past the last
-      // externally visible effect (store / atomic / console / halt) retired
-      // by ANY cpu. Loads, branches and spin loops are not progress.
-      Cycle progress = 0;
-      for (const auto& c : cpus_) {
-        progress = std::max(progress, c->last_progress());
-      }
-      if (next->cached_now() > progress + wd) {
-        watchdog_fired = true;
-        break;
-      }
+    if (end == cpu::CycleCpu::RunEnd::kWatchdog) {
+      watchdog_fired = true;
+      break;
     }
   }
   res.all_halted = true;

@@ -469,17 +469,32 @@ void Crossbar::restore(ckpt::Reader& r) {
 void Lsu::save(ckpt::Writer& w) const {
   w.put_tag("LSU ");
   w.put_u64(fills_);
-  w.put_u64(loads_.size());
-  for (Cycle c : loads_) w.put_u64(c);
-  w.put_u64(stores_.size());
+  // The buffers retire entries lazily; serialize only entries live past the
+  // retirement boundary so the byte stream matches the eagerly-pruned
+  // representation (entries at or before prune_now_ were architecturally
+  // retired — keeping them in memory is purely a hot-path optimization).
+  u64 n_loads = 0;
+  for (Cycle c : loads_) n_loads += c > prune_now_ ? 1 : 0;
+  w.put_u64(n_loads);
+  for (Cycle c : loads_) {
+    if (c > prune_now_) w.put_u64(c);
+  }
+  u64 n_stores = 0;
+  for (const StoreEntry& s : stores_) n_stores += s.done > prune_now_ ? 1 : 0;
+  w.put_u64(n_stores);
   for (const StoreEntry& s : stores_) {
+    if (s.done <= prune_now_) continue;
     w.put_u64(s.addr);
     w.put_u32(s.bytes);
     w.put_u64(s.done);
   }
-  // MSHRs sorted by line address: unordered_map iteration order must not
-  // leak into the byte stream (determinism rule).
-  std::vector<std::pair<Addr, Cycle>> mshrs(mshr_.begin(), mshr_.end());
+  // MSHRs sorted by line address: internal (insertion) order must not leak
+  // into the byte stream (determinism rule).
+  std::vector<std::pair<Addr, Cycle>> mshrs;
+  mshrs.reserve(mshr_.size());
+  for (const MshrEntry& e : mshr_) {
+    if (e.done > prune_now_) mshrs.emplace_back(e.line, e.done);
+  }
   std::sort(mshrs.begin(), mshrs.end());
   w.put_u64(mshrs.size());
   for (const auto& [line, done] : mshrs) {
@@ -510,7 +525,8 @@ void Lsu::restore(ckpt::Reader& r) {
   const u64 n_mshrs = r.get_u64();
   for (u64 i = 0; i < n_mshrs; ++i) {
     const Addr line = r.get_u64();
-    mshr_[line] = r.get_u64();
+    const Cycle done = r.get_u64();
+    mshr_.push_back({line, done});
   }
   blocked_until_ = r.get_u64();
   for (WcEntry& e : wc_) {
@@ -519,6 +535,7 @@ void Lsu::restore(ckpt::Reader& r) {
   }
   wc_done_ = r.get_u64();
   for (u64& c : counters_) c = r.get_u64();
+  rebuild_watermarks();
 }
 
 void EccMemory::save(ckpt::Writer& w) const {

@@ -21,4 +21,14 @@ inline void require(bool ok, const std::string& what) {
   if (!ok) fail(what);
 }
 
+// Literal-message overloads: hot-path checks (InlineVec, decode) pass string
+// literals, and the reference overload would materialize a std::string
+// temporary on every call, success or not. These defer construction to the
+// failure path.
+[[noreturn]] inline void fail(const char* what) { throw Error(what); }
+
+inline void require(bool ok, const char* what) {
+  if (!ok) [[unlikely]] fail(what);
+}
+
 } // namespace majc

@@ -280,6 +280,111 @@ TEST(CycleTiming, PerfectDcacheMatchesPaperNoMemoryEffectsMode) {
   EXPECT_GT(creal, cperf + 2048u);  // every access misses in the real config
 }
 
+// ---- Directed LSU microtests: exact-cycle pins of the store/load special
+// paths (store-to-load forwarding, MSHR miss merging, write-combining
+// stores, membar drain). These lock down the timing contract the LSU's
+// incremental-watermark rework must preserve. ----
+
+TEST(CycleTiming, ForwardedLoadDeliversOneCycleAfterIssue) {
+  // A load forwarded from a live store-buffer entry has data_ready =
+  // issue + 1, beating the 2-cycle D$ load-to-use: a dependent consumer in
+  // the very next packet sees no bubble at all, so the dependent and
+  // independent programs take exactly the same number of cycles (contrast
+  // LoadToUseIsTwoCycles, where the dependence costs one).
+  TimingConfig cfg = ideal_config();
+  const std::string pre = "setlo g3, 8192\nsetlo g4, 77\nstwi g4, g3, 0\n";
+  const Cycle dep = run_cycles(
+      (pre + "ldwi g5, g3, 0\nadd g6, g5, g5\nhalt\n").c_str(), cfg);
+  const Cycle indep = run_cycles(
+      (pre + "ldwi g5, g3, 0\nadd g6, g4, g4\nhalt\n").c_str(), cfg);
+  EXPECT_EQ(dep, indep);
+
+  cpu::CycleSim sim(
+      masm::assemble_or_throw((pre + "ldwi g5, g3, 0\nadd g6, g5, g5\nhalt\n").c_str()),
+      cfg);
+  sim.run();
+  const auto c = sim.memsys().lsu(0).counters();
+  EXPECT_EQ(c.get("store_forwards"), 1u);
+  EXPECT_EQ(c.get("load_misses"), 0u);  // the load never touched the D$
+}
+
+TEST(CycleTiming, MissMergeAttachesSecondLoadToInFlightFill) {
+  // Back-to-back loads of one uncached line: the second load finds the
+  // first's fill in the MSHR and attaches to it — one miss, one merge, and
+  // both loads deliver on the same fill-completion cycle, so a consumer of
+  // either value finishes at exactly the same time.
+  TimingConfig cfg = ideal_config();
+  const std::string pre = "setlo g3, 8192\nldwi g4, g3, 0\nldwi g5, g3, 4\n";
+  const Cycle dep_second =
+      run_cycles((pre + "add g6, g5, g5\nhalt\n").c_str(), cfg);
+  const Cycle dep_first =
+      run_cycles((pre + "add g6, g4, g4\nhalt\n").c_str(), cfg);
+  EXPECT_EQ(dep_second, dep_first);
+
+  cpu::CycleSim sim(
+      masm::assemble_or_throw((pre + "add g6, g5, g5\nhalt\n").c_str()), cfg);
+  sim.run();
+  const auto c = sim.memsys().lsu(0).counters();
+  EXPECT_EQ(c.get("load_misses"), 1u);
+  EXPECT_EQ(c.get("mshr_merges"), 1u);
+}
+
+TEST(CycleTiming, WriteCombiningStoresRetireInOneCycle) {
+  // Non-allocating (.na) stores to a missing line skip read-for-ownership:
+  // the first store to a line opens a combining-buffer entry (one
+  // background line write), and every store retires the next cycle — the
+  // program runs exactly as fast as the same packets doing register ALU
+  // work. A second line opens a second entry.
+  TimingConfig cfg = ideal_config();
+  const std::string pre = "setlo g3, 8192\nsetlo g5, 8224\nsetlo g4, 7\n";
+  const std::string wc = pre +
+                         "stw.na g4, g3, g0\nstw.na g4, g3, g0\n"
+                         "stw.na g4, g3, g0\nstw.na g4, g5, g0\nhalt\n";
+  const std::string alu = pre +
+                          "add g6, g3, g4\nadd g6, g3, g4\n"
+                          "add g6, g3, g4\nadd g6, g5, g4\nhalt\n";
+  EXPECT_EQ(run_cycles(wc.c_str(), cfg), run_cycles(alu.c_str(), cfg));
+
+  cpu::CycleSim sim(masm::assemble_or_throw(wc.c_str()), cfg);
+  sim.run();
+  const auto c = sim.memsys().lsu(0).counters();
+  EXPECT_EQ(c.get("wc_stores"), 4u);
+  EXPECT_EQ(c.get("wc_lines"), 2u);
+  EXPECT_EQ(c.get("store_misses"), 0u);  // no read-for-ownership fills
+}
+
+TEST(CycleTiming, MembarDrainsExactlyToOutstandingCompletion) {
+  TimingConfig cfg = ideal_config();
+  const std::string pre = "setlo g3, 8192\nsetlo g4, 7\n";
+  const auto delta = [&](const char* body, const char* baseline) {
+    const Cycle a = run_cycles((pre + body + "halt\n").c_str(), cfg);
+    const Cycle b = run_cycles((pre + baseline + "halt\n").c_str(), cfg);
+    return static_cast<i64>(a) - static_cast<i64>(b);
+  };
+  // Nothing outstanding: the membar issues immediately, costing only its
+  // own packet slot (same as a nop).
+  EXPECT_EQ(delta("membar\n", "nop\n"), 0);
+  // A store miss leaves its fill + retire in flight; the membar stalls
+  // until exactly that completion: crossbar hops out and back, the DRDRAM
+  // row-activate, the 32-byte line transfers, plus the store's retire
+  // cycle. Pinned against the default timing config.
+  EXPECT_EQ(delta("stwi g4, g3, 0\nmembar\n", "stwi g4, g3, 0\nnop\n"), 42);
+  // A write-combining store only waits for the background line write (no
+  // return transfer into the D$), so its drain is cheaper.
+  EXPECT_EQ(delta("stw.na g4, g3, g0\nmembar\n", "stw.na g4, g3, g0\nnop\n"),
+            39);
+  // Once drained, a second membar is free again.
+  EXPECT_EQ(delta("stwi g4, g3, 0\nmembar\nmembar\n",
+                  "stwi g4, g3, 0\nmembar\nnop\n"),
+            0);
+
+  cpu::CycleSim sim(
+      masm::assemble_or_throw((pre + "stwi g4, g3, 0\nmembar\nhalt\n").c_str()),
+      cfg);
+  sim.run();
+  EXPECT_EQ(sim.memsys().lsu(0).counters().get("membars"), 1u);
+}
+
 TEST(CycleTiming, CycleAndFunctionalSimsAgreeOnResults) {
   const char* src = R"(
     setlo g3, 20

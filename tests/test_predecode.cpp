@@ -61,15 +61,18 @@ void check_packet(const sim::Program& prog, u32 idx, Addr pc) {
 
   bool want_any_dests = false;
   bool want_any_resource = false;
+  InlineVec<sim::PacketMeta::DestWrite, 32> want_dsts;
   for (u32 i = 0; i < fresh.width; ++i) {
     const isa::OpInfo& info = fresh.slot[i].info();
     const sim::PacketMeta::SlotMeta& sm = m.slot[i];
+    const bool load = info.is_load() || info.has(isa::kAtomic);
 
     InlineVec<isa::PhysReg, 8> dests;
     sim::collect_dests(fresh.slot[i], i, dests);
     ASSERT_EQ(sm.dests.size(), dests.size()) << "pc=" << pc << " slot " << i;
     for (u32 d = 0; d < dests.size(); ++d) {
       EXPECT_EQ(sm.dests[d], dests[d]) << "pc=" << pc << " slot " << i;
+      want_dsts.push_back({dests[d], static_cast<u8>(i), info.latency, load});
     }
 
     EXPECT_EQ(sm.latency, info.latency) << "pc=" << pc << " slot " << i;
@@ -77,13 +80,32 @@ void check_packet(const sim::Program& prog, u32 idx, Addr pc) {
         << "pc=" << pc << " slot " << i;
     EXPECT_EQ(sm.resource, sim::fu_resource_of(info))
         << "pc=" << pc << " slot " << i;
-    EXPECT_EQ(sm.load_data, info.is_load() || info.has(isa::kAtomic))
-        << "pc=" << pc << " slot " << i;
+    EXPECT_EQ(sm.load_data, load) << "pc=" << pc << " slot " << i;
+    // Executor dispatch class: nop slots carry the skip sentinel (the
+    // meta-driven executor elides their dispatch); everything else its
+    // OpInfo class.
+    const u8 want_cls = fresh.slot[i].op == isa::Op::kNop
+                            ? sim::kSlotClsNop
+                            : static_cast<u8>(info.cls);
+    EXPECT_EQ(sm.cls, want_cls) << "pc=" << pc << " slot " << i;
     want_any_dests = want_any_dests || dests.size() > 0;
     want_any_resource = want_any_resource || sim::fu_resource_of(info) >= 0;
   }
   EXPECT_EQ(m.any_dests, want_any_dests) << "pc=" << pc;
   EXPECT_EQ(m.any_resource, want_any_resource) << "pc=" << pc;
+
+  // Flattened writeback list: every slot's destinations in slot order, each
+  // tagged with its producing slot, latency and LSU-delivery flag — what
+  // the cycle model's scoreboard update walks.
+  ASSERT_EQ(m.dsts.size(), want_dsts.size()) << "pc=" << pc;
+  for (u32 i = 0; i < want_dsts.size(); ++i) {
+    EXPECT_EQ(m.dsts[i].reg, want_dsts[i].reg) << "pc=" << pc << " dst " << i;
+    EXPECT_EQ(m.dsts[i].slot, want_dsts[i].slot) << "pc=" << pc << " dst " << i;
+    EXPECT_EQ(m.dsts[i].latency, want_dsts[i].latency)
+        << "pc=" << pc << " dst " << i;
+    EXPECT_EQ(m.dsts[i].load_data, want_dsts[i].load_data)
+        << "pc=" << pc << " dst " << i;
+  }
 
   // Successor indices: the fall-through index must name the packet at
   // fall_through (or be kNoPacketIndex past the image end); a static branch
